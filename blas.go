@@ -1,0 +1,318 @@
+// Package blas is a bi-labeling based XPath processing system, a faithful
+// reimplementation of Chen, Davidson & Zheng, "BLAS: An Efficient XPath
+// Processing System" (SIGMOD 2004).
+//
+// BLAS shreds an XML document into relations in which every element and
+// attribute node carries two labels:
+//
+//   - a D-label <start, end, level> — interval containment decides
+//     ancestor/descendant relationships, level differences decide
+//     parent/child (§3.1);
+//   - a P-label — an integer encoding of the node's root-to-node path,
+//     chosen so that an entire chain of child steps (a suffix path query)
+//     evaluates as a single B+-tree range or equality selection (§3.2).
+//
+// Complex queries are decomposed into suffix path pieces by one of three
+// translators (Split, Push-up, Unfold), evaluated as indexed selections,
+// and recombined with structural D-joins — either on the built-in
+// relational engine or on a holistic twig join engine (§4, §5).
+//
+// # Quick start
+//
+//	store, err := blas.BuildFromFile("catalog.xml", blas.Options{Dir: "catalog.blas"})
+//	...
+//	res, err := store.Query(`/catalog/book[author="Knuth"]/title`, blas.QueryOptions{})
+//	for _, m := range res.Matches {
+//	    fmt.Println(m.Path, m.Value)
+//	}
+package blas
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relengine"
+	"repro/internal/relstore"
+	"repro/internal/sqlgen"
+	"repro/internal/translate"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Options configures store construction and opening.
+type Options struct {
+	// Dir is the store directory; empty builds an in-memory store.
+	Dir string
+	// PoolPages sets the buffer pool capacity per relation file in 8 KiB
+	// pages (0 = default, 512 pages = 4 MiB).
+	PoolPages int
+}
+
+// Store is an open BLAS store over one shredded document.
+type Store struct {
+	inner *core.Store
+}
+
+// BuildFromFile shreds the XML document at path into a new store. The
+// file is read twice (P-labeling needs the tag universe up front), in
+// streaming fashion.
+func BuildFromFile(path string, opts Options) (*Store, error) {
+	st, err := core.BuildFromFile(path, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: st}, nil
+}
+
+// BuildFromString shreds an XML document held in memory.
+func BuildFromString(doc string, opts Options) (*Store, error) {
+	tree, err := xmltree.ParseString(doc)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.BuildFromTree(tree, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: st}, nil
+}
+
+// Open opens a store previously built with a non-empty Options.Dir.
+func Open(opts Options) (*Store, error) {
+	st, err := core.Open(core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: st}, nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// Translator selects the query translation strategy (§4.1).
+type Translator string
+
+// Translators. Auto follows the paper's recommendation: Unfold when
+// schema information is available, Push-up otherwise.
+const (
+	TranslatorAuto   Translator = "auto"
+	TranslatorDLabel Translator = "dlabel" // pure D-labeling baseline
+	TranslatorSplit  Translator = "split"
+	TranslatorPushUp Translator = "pushup"
+	TranslatorUnfold Translator = "unfold"
+)
+
+// Engine selects the query engine (§5).
+type Engine string
+
+// Engines.
+const (
+	EngineRelational Engine = "relational"
+	EngineTwig       Engine = "twig"
+)
+
+// QueryOptions configures one query execution. The zero value uses the
+// Auto translator on the relational engine.
+type QueryOptions struct {
+	Translator Translator
+	Engine     Engine
+	// NestedLoopJoin forces the quadratic D-join (ablation; relational
+	// engine only).
+	NestedLoopJoin bool
+}
+
+// Match is one result node.
+type Match struct {
+	Start uint32 // position of the node's start tag
+	End   uint32 // position of the node's end tag
+	Level uint16 // depth (root = 1)
+	Tag   string // element tag ("@name" for attributes)
+	Value string // text value ("" if none)
+	Path  string // the node's source path, e.g. /site/people/person
+}
+
+// Result holds a query's matches plus execution statistics.
+type Result struct {
+	Matches []Match
+	Stats   ExecStats
+}
+
+// ExecStats describes one execution.
+type ExecStats struct {
+	Translator      Translator
+	Engine          Engine
+	Elapsed         time.Duration
+	VisitedElements uint64 // records decoded from the relations
+	PageReads       uint64 // buffer pool requests
+	PageMisses      uint64 // buffer pool misses (the paper's disk accesses)
+	Joins           int    // D-joins in the plan
+	Note            string // plan degradation note, if any
+}
+
+// Query parses, translates and executes an XPath expression.
+func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
+	plan, err := s.plan(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.inner.ResetCounters()
+	begin := time.Now()
+
+	var recs []Match
+	switch engineOf(opts) {
+	case EngineTwig:
+		res, err := twig.Execute(s.inner, plan)
+		if err != nil {
+			return nil, err
+		}
+		recs = s.matches(res.Records)
+	default:
+		jo := relengine.Options{}
+		if opts.NestedLoopJoin {
+			jo.Join = relengine.NestedLoopJoin
+		}
+		res, err := relengine.Execute(s.inner, plan, jo)
+		if err != nil {
+			return nil, err
+		}
+		recs = s.matches(res.Records)
+	}
+	elapsed := time.Since(begin)
+	c := s.inner.Snapshot()
+	return &Result{
+		Matches: recs,
+		Stats: ExecStats{
+			Translator:      Translator(plan.Translator),
+			Engine:          engineOf(opts),
+			Elapsed:         elapsed,
+			VisitedElements: c.Visited,
+			PageReads:       c.PageReads,
+			PageMisses:      c.PageMisses,
+			Joins:           plan.NumJoins(),
+			Note:            plan.Note,
+		},
+	}, nil
+}
+
+func engineOf(opts QueryOptions) Engine {
+	if opts.Engine == "" {
+		return EngineRelational
+	}
+	return opts.Engine
+}
+
+func (s *Store) plan(query string, opts QueryOptions) (*translate.Plan, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	ctx := translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}
+	name := opts.Translator
+	if name == "" || name == TranslatorAuto {
+		// The paper's §5 recommendation: Unfold with schema information,
+		// Push-up without.
+		if ctx.Schema != nil {
+			name = TranslatorUnfold
+		} else {
+			name = TranslatorPushUp
+		}
+	}
+	tr, err := translate.ByName(string(name))
+	if err != nil {
+		return nil, err
+	}
+	return tr(ctx, q)
+}
+
+func (s *Store) matches(recs []relstore.Record) []Match {
+	out := make([]Match, len(recs))
+	for i, r := range recs {
+		m := Match{Start: r.Start, End: r.End, Level: r.Level, Value: r.Data}
+		if tag, ok := s.inner.TagName(r.TagID); ok {
+			m.Tag = tag
+		}
+		if path, err := s.inner.Scheme().DecodePath(r.PLabel); err == nil {
+			m.Path = "/" + strings.Join(path, "/")
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Explanation describes how a query would be executed.
+type Explanation struct {
+	Translator Translator
+	PlanText   string // fragment/join structure
+	SQL        string // the generated SQL statement
+	Algebra    string // relational algebra (paper Fig. 11 style)
+	Joins      int
+	EqSels     int // equality selections
+	RangeSels  int // range selections
+	Note       string
+}
+
+// Explain translates a query and renders its plan, SQL and algebra
+// without executing it.
+func (s *Store) Explain(query string, opts QueryOptions) (*Explanation, error) {
+	plan, err := s.plan(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	eq, rng := plan.SelectionKinds()
+	return &Explanation{
+		Translator: Translator(plan.Translator),
+		PlanText:   plan.String(),
+		SQL:        sqlgen.SQL(plan),
+		Algebra:    sqlgen.Algebra(plan),
+		Joins:      plan.NumJoins(),
+		EqSels:     eq,
+		RangeSels:  rng,
+		Note:       plan.Note,
+	}, nil
+}
+
+// StoreStats describes the shredded document.
+type StoreStats struct {
+	Nodes    uint64 // element + attribute nodes
+	Tags     int    // distinct tags
+	MaxDepth int
+}
+
+// Stats returns the store's document statistics.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Nodes:    s.inner.NodeCount(),
+		Tags:     s.inner.Scheme().NumTags(),
+		MaxDepth: s.inner.Schema().MaxDepth(),
+	}
+}
+
+// DropCaches empties the buffer pools, simulating a cold cache (the
+// paper's measurement condition).
+func (s *Store) DropCaches() error { return s.inner.DropCaches() }
+
+// DatasetOptions configures GenerateDataset.
+type DatasetOptions struct {
+	Seed   int64
+	Factor int // entity multiplier; 1 reproduces the paper's Fig. 12 scale
+}
+
+// Datasets lists the generator names: shakespeare, protein, auction.
+func Datasets() []string { return datagen.Names() }
+
+// GenerateDataset writes one of the paper's synthetic data sets as an XML
+// document.
+func GenerateDataset(w io.Writer, name string, opts DatasetOptions) error {
+	root, err := datagen.ByName(strings.ToLower(name), datagen.Options{Seed: opts.Seed, Factor: opts.Factor})
+	if err != nil {
+		return err
+	}
+	return xmltree.WriteXML(w, root)
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

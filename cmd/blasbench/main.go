@@ -1,0 +1,102 @@
+// Command blasbench reproduces the paper's evaluation section (§5): each
+// -fig value regenerates the workload behind one figure of the paper and
+// prints the corresponding table.
+//
+// Usage:
+//
+//	blasbench -fig 13            # relational engine comparison
+//	blasbench -fig 16 -factors 1,2,3,4,5
+//	blasbench -all               # everything (as used for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 11, 12, 13, 14, 15, 16, 17 or 18")
+	all := flag.Bool("all", false, "run every figure")
+	factor := flag.Int("factor", 1, "data scale factor for figures 13-15")
+	factorsStr := flag.String("factors", "1,2,3,4,5", "scale factors for figures 16-18")
+	repeats := flag.Int("repeats", 3, "cold-cache repetitions per measurement")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	flag.Parse()
+
+	factors, err := parseFactors(*factorsStr)
+	if err != nil {
+		fail(err)
+	}
+	h := bench.New()
+	h.Repeats = *repeats
+	h.Seed = *seed
+	defer h.Close()
+
+	run := func(name string) error {
+		switch name {
+		case "11":
+			return h.Fig11(os.Stdout)
+		case "12":
+			return h.Fig12(os.Stdout)
+		case "13":
+			return h.Fig13(os.Stdout, *factor)
+		case "14":
+			return h.Fig14(os.Stdout, *factor)
+		case "15":
+			return h.Fig15(os.Stdout, *factor)
+		case "16":
+			return h.Scalability(os.Stdout, "16", "QA1", factors)
+		case "17":
+			return h.Scalability(os.Stdout, "17", "QA2", factors)
+		case "18":
+			return h.Scalability(os.Stdout, "18", "QA3", factors)
+		}
+		return fmt.Errorf("unknown figure %q", name)
+	}
+
+	if *all {
+		for _, name := range []string{"11", "12", "13", "14", "15", "16", "17", "18"} {
+			if err := run(name); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: blasbench -fig N | -all")
+		os.Exit(2)
+	}
+	if err := run(*fig); err != nil {
+		fail(err)
+	}
+}
+
+func parseFactors(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad factor %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no factors given")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blasbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command blasgen generates the synthetic data sets of the paper's
+// evaluation (Fig. 12): shakespeare, protein, or auction.
+//
+// Usage:
+//
+//	blasgen -dataset auction -factor 2 -seed 7 -o auction.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	blas "repro"
+)
+
+func main() {
+	dataset := flag.String("dataset", "auction", "data set: shakespeare, protein or auction")
+	factor := flag.Int("factor", 1, "scale factor (1 = the paper's Fig. 12 scale)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := blas.GenerateDataset(bw, *dataset, blas.DatasetOptions{Seed: *seed, Factor: *factor}); err != nil {
+		fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blasgen:", err)
+	os.Exit(1)
+}

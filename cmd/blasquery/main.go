@@ -1,0 +1,99 @@
+// Command blasquery runs XPath queries against a BLAS store (or directly
+// against an XML file, shredding it in memory first).
+//
+// Usage:
+//
+//	blasquery -store auction.blas -q '/site/regions//item' -translator pushup
+//	blasquery -xml doc.xml -q '//title' -engine twig
+//	blasquery -store s.blas -q '//item[shipping]' -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	blas "repro"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory (from blasload)")
+	xmlFile := flag.String("xml", "", "XML file to shred in memory instead of -store")
+	query := flag.String("q", "", "XPath query")
+	translator := flag.String("translator", "auto", "auto, dlabel, split, pushup or unfold")
+	engine := flag.String("engine", "relational", "relational or twig")
+	explain := flag.Bool("explain", false, "print the plan, SQL and algebra instead of executing")
+	limit := flag.Int("limit", 20, "maximum matches to print (0 = all)")
+	stats := flag.Bool("stats", true, "print execution statistics")
+	flag.Parse()
+
+	if *query == "" || (*store == "") == (*xmlFile == "") {
+		fmt.Fprintln(os.Stderr, "usage: blasquery (-store DIR | -xml FILE) -q QUERY")
+		os.Exit(2)
+	}
+
+	var st *blas.Store
+	var err error
+	if *store != "" {
+		st, err = blas.Open(blas.Options{Dir: *store})
+	} else {
+		st, err = blas.BuildFromFile(*xmlFile, blas.Options{})
+	}
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+
+	opts := blas.QueryOptions{
+		Translator: blas.Translator(*translator),
+		Engine:     blas.Engine(*engine),
+	}
+	if *explain {
+		ex, err := st.Explain(*query, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("translator: %s   D-joins: %d   selections: %d equality, %d range\n",
+			ex.Translator, ex.Joins, ex.EqSels, ex.RangeSels)
+		if ex.Note != "" {
+			fmt.Println("note:", ex.Note)
+		}
+		fmt.Println("\n-- plan --")
+		fmt.Println(ex.PlanText)
+		fmt.Println("-- SQL --")
+		fmt.Println(ex.SQL)
+		fmt.Println("\n-- algebra --")
+		fmt.Println(ex.Algebra)
+		return
+	}
+
+	res, err := st.Query(*query, opts)
+	if err != nil {
+		fail(err)
+	}
+	n := len(res.Matches)
+	show := n
+	if *limit > 0 && show > *limit {
+		show = *limit
+	}
+	for _, m := range res.Matches[:show] {
+		if m.Value != "" {
+			fmt.Printf("%s\t%q\n", m.Path, m.Value)
+		} else {
+			fmt.Printf("%s\t<%s> [%d,%d]\n", m.Path, m.Tag, m.Start, m.End)
+		}
+	}
+	if show < n {
+		fmt.Printf("... and %d more\n", n-show)
+	}
+	if *stats {
+		fmt.Printf("\n%d matches in %s (%s/%s): %d elements visited, %d page misses, %d joins\n",
+			n, res.Stats.Elapsed, res.Stats.Translator, res.Stats.Engine,
+			res.Stats.VisitedElements, res.Stats.PageMisses, res.Stats.Joins)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blasquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Explain: reproduce the paper's Fig. 11 interactively — show the SQL and
+// relational algebra each translator generates for QS3, including the
+// selection-kind breakdown of §5.2.2 (Split: 2 range + 1 equality;
+// Push-up: 1 range + 2 equality; Unfold: 3 equality).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	blas "repro"
+)
+
+const qs3 = `/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`
+
+func main() {
+	var doc bytes.Buffer
+	if err := blas.GenerateDataset(&doc, "shakespeare", blas.DatasetOptions{Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	store, err := blas.BuildFromString(doc.String(), blas.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	fmt.Println("QS3 =", qs3)
+	for _, tr := range []blas.Translator{blas.TranslatorDLabel, blas.TranslatorSplit, blas.TranslatorPushUp, blas.TranslatorUnfold} {
+		ex, err := store.Explain(qs3, blas.QueryOptions{Translator: tr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s: %d D-joins, %d equality + %d range selections ===\n",
+			tr, ex.Joins, ex.EqSels, ex.RangeSels)
+		fmt.Println(ex.SQL)
+		fmt.Println("\nalgebra:")
+		fmt.Println(ex.Algebra)
+	}
+}

@@ -1,0 +1,62 @@
+// Protein: the paper's §1 motivating scenario. A biologist looks for the
+// title of the 2001 paper by Evans, M.J. about the "cytochrome c" protein
+// family — the paper's running example query Q (Fig. 2) — against the
+// synthetic protein repository.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	blas "repro"
+)
+
+const paperQuery = `/ProteinDatabase/ProteinEntry[protein//superfamily="cytochrome c"]` +
+	`/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`
+
+func main() {
+	// Generate the protein data set (Fig. 12 shape: ~114k nodes, 66 tags).
+	var doc bytes.Buffer
+	if err := blas.GenerateDataset(&doc, "protein", blas.DatasetOptions{Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	store, err := blas.BuildFromString(doc.String(), blas.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	fmt.Println("query Q (paper Fig. 2):")
+	fmt.Println(" ", paperQuery)
+	fmt.Println()
+
+	// The paper's point: the four translators answer the same query with
+	// very different plans. Compare them.
+	for _, tr := range []blas.Translator{blas.TranslatorDLabel, blas.TranslatorSplit, blas.TranslatorPushUp, blas.TranslatorUnfold} {
+		// Warm up once (allocator effects), report the second run.
+		if _, err := store.Query(paperQuery, blas.QueryOptions{Translator: tr}); err != nil {
+			log.Fatal(err)
+		}
+		res, err := store.Query(paperQuery, blas.QueryOptions{Translator: tr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %3d matches  %8s  %2d D-joins  %7d elements visited  %5d page misses\n",
+			tr, len(res.Matches), res.Stats.Elapsed, res.Stats.Joins,
+			res.Stats.VisitedElements, res.Stats.PageMisses)
+	}
+
+	res, err := store.Query(paperQuery, blas.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst titles found:")
+	for i, m := range res.Matches {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Matches)-5)
+			break
+		}
+		fmt.Printf("  %q\n", m.Value)
+	}
+}

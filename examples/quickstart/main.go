@@ -1,0 +1,52 @@
+// Quickstart: build an in-memory BLAS store from an XML document and run
+// a few XPath queries through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blas "repro"
+)
+
+const doc = `<library>
+  <shelf floor="1">
+    <book id="b1"><author>Knuth</author><title>TAOCP Vol. 1</title><year>1968</year></book>
+    <book id="b2"><author>Date</author><title>An Introduction to Database Systems</title><year>1975</year></book>
+  </shelf>
+  <shelf floor="2">
+    <book id="b3"><author>Knuth</author><title>Concrete Mathematics</title><year>1989</year></book>
+    <book id="b4"><author>Gray</author><title>Transaction Processing</title><year>1992</year></book>
+  </shelf>
+</library>`
+
+func main() {
+	store, err := blas.BuildFromString(doc, blas.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	stats := store.Stats()
+	fmt.Printf("shredded: %d nodes, %d tags, depth %d\n\n", stats.Nodes, stats.Tags, stats.MaxDepth)
+
+	queries := []string{
+		"/library/shelf/book/title",              // suffix path: one index selection
+		`//book[author="Knuth"]/title`,           // branch + value predicate
+		`/library/shelf[@floor="2"]/book/author`, // attribute predicate
+		"//year",
+	}
+	for _, q := range queries {
+		res, err := store.Query(q, blas.QueryOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", q)
+		for _, m := range res.Matches {
+			fmt.Printf("  %-30s %q\n", m.Path, m.Value)
+		}
+		fmt.Printf("  -> %d matches in %s via %s (%d joins, %d elements visited)\n\n",
+			len(res.Matches), res.Stats.Elapsed, res.Stats.Translator,
+			res.Stats.Joins, res.Stats.VisitedElements)
+	}
+}

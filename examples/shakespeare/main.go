@@ -1,0 +1,65 @@
+// Shakespeare: persistent stores and the twig-join engine. Shreds the
+// plays corpus to disk once, reopens it, and runs the paper's QS1-QS3
+// on both query engines.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	blas "repro"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "blas-shakespeare-example")
+	defer os.RemoveAll(dir)
+
+	// Build the on-disk store (the index generator of Fig. 6).
+	var doc bytes.Buffer
+	if err := blas.GenerateDataset(&doc, "shakespeare", blas.DatasetOptions{Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	store, err := blas.BuildFromString(doc.String(), blas.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := store.Stats()
+	fmt.Printf("stored %d nodes (%d tags, depth %d) in %s\n\n", stats.Nodes, stats.Tags, stats.MaxDepth, dir)
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen and query: labels and indexes are read back from disk.
+	store, err = blas.Open(blas.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	queries := map[string]string{
+		"QS1": "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+		"QS2": "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",
+		"QS3": `/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`,
+	}
+	for _, name := range []string{"QS1", "QS2", "QS3"} {
+		fmt.Printf("%s = %s\n", name, queries[name])
+		for _, engine := range []blas.Engine{blas.EngineRelational, blas.EngineTwig} {
+			if err := store.DropCaches(); err != nil {
+				log.Fatal(err)
+			}
+			res, err := store.Query(queries[name], blas.QueryOptions{
+				Translator: blas.TranslatorPushUp,
+				Engine:     engine,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11s %6d matches in %8s (%d elements visited, %d disk accesses)\n",
+				engine, len(res.Matches), res.Stats.Elapsed,
+				res.Stats.VisitedElements, res.Stats.PageMisses)
+		}
+	}
+}

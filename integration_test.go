@@ -1,0 +1,127 @@
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/enginetest"
+	"repro/internal/relengine"
+	"repro/internal/translate"
+	"repro/internal/twig"
+	"repro/internal/xpath"
+)
+
+// TestPaperQueriesEndToEnd is the repository's strongest guarantee: on
+// each of the three paper data sets (Fig. 12 scale), every Fig. 10 and
+// Fig. 15 query must return exactly the node set the naive reference
+// evaluator computes — under all four translators, on both engines.
+func TestPaperQueriesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three paper-scale stores")
+	}
+	queriesByDataset := map[string][]string{}
+	for qn, q := range bench.Fig10Queries {
+		ds, err := bench.DatasetOf(qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queriesByDataset[ds] = append(queriesByDataset[ds], q)
+	}
+	for _, q := range bench.Fig15Queries {
+		queriesByDataset["auction"] = append(queriesByDataset["auction"], q)
+	}
+	// The paper's running example Q (Fig. 2).
+	queriesByDataset["protein"] = append(queriesByDataset["protein"],
+		`/ProteinDatabase/ProteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`)
+
+	for _, ds := range datagen.Names() {
+		tree, err := datagen.ByName(ds, datagen.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+		for _, query := range queriesByDataset[ds] {
+			want, err := enginetest.EvalStarts(tree, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Errorf("%s: %s returns nothing — benchmark would measure empty work", ds, query)
+				continue
+			}
+			parsed := xpath.MustParse(query)
+			for _, trName := range []string{"dlabel", "split", "pushup", "unfold"} {
+				tr, _ := translate.ByName(trName)
+				plan, err := tr(ctx, parsed)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", query, trName, err)
+				}
+				rres, err := relengine.Execute(st, plan, relengine.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s relational: %v", query, trName, err)
+				}
+				if !enginetest.StartsEqual(rres.Starts(), want) {
+					t.Errorf("%s [%s, relational]: %d results, want %d", query, trName, len(rres.Starts()), len(want))
+				}
+				tres, err := twig.Execute(st, plan)
+				if err != nil {
+					t.Fatalf("%s/%s twig: %v", query, trName, err)
+				}
+				if !enginetest.StartsEqual(tres.Starts(), want) {
+					t.Errorf("%s [%s, twig]: %d results, want %d", query, trName, len(tres.Starts()), len(want))
+				}
+			}
+		}
+		st.Close()
+	}
+}
+
+// TestScalingIsLinearInResults sanity-checks the Fig. 16 premise: for the
+// suffix path query QA1, the split translator's visited elements grow
+// with the factor while remaining equal to the result count (selection
+// only, no join inputs).
+func TestScalingIsLinearInResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two auction stores")
+	}
+	visited := map[int]uint64{}
+	results := map[int]int{}
+	for _, factor := range []int{1, 2} {
+		tree, err := datagen.ByName("auction", datagen.Options{Seed: 1, Factor: factor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := translate.ByName("split")
+		plan, err := tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()},
+			xpath.MustParse(bench.Fig10Queries["QA1"]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ResetCounters()
+		res, err := relengine.Execute(st, plan, relengine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited[factor] = st.Snapshot().Visited
+		results[factor] = len(res.Records)
+		st.Close()
+	}
+	for _, f := range []int{1, 2} {
+		if visited[f] != uint64(results[f]) {
+			t.Errorf("factor %d: visited %d != results %d (suffix path should read only matches)", f, visited[f], results[f])
+		}
+	}
+	if results[2] < results[1]*3/2 {
+		t.Errorf("results did not scale: %d -> %d", results[1], results[2])
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xpath"
+)
+
+func TestDatasetOf(t *testing.T) {
+	cases := map[string]string{
+		"QS1": "shakespeare", "QP2": "protein", "QA3": "auction",
+		"Q1": "auction", "Q6": "auction",
+	}
+	for q, want := range cases {
+		got, err := DatasetOf(q)
+		if err != nil || got != want {
+			t.Errorf("DatasetOf(%s) = %s, %v", q, got, err)
+		}
+	}
+	if _, err := DatasetOf(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := DatasetOf("QX9"); err == nil {
+		t.Error("bad name accepted")
+	}
+}
+
+func TestStripValues(t *testing.T) {
+	q := xpath.MustParse(`/a/b[c="x" and d]/e="y"`)
+	s := StripValues(q)
+	var count int
+	var walk func(n *xpath.Node)
+	walk = func(n *xpath.Node) {
+		if n == nil {
+			return
+		}
+		if n.Value != nil {
+			count++
+		}
+		for _, b := range n.Branches {
+			walk(b)
+		}
+		walk(n.Next)
+	}
+	walk(s.Root)
+	if count != 0 {
+		t.Fatalf("%d values remain", count)
+	}
+	// Original untouched.
+	if q.Root.Next.Branches[0].Value == nil {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	for n, q := range Fig10Queries {
+		if _, err := xpath.Parse(q); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	for n, q := range Fig15Queries {
+		if _, err := xpath.Parse(q); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestRunProducesConsistentResults(t *testing.T) {
+	h := New()
+	h.Repeats = 1
+	defer h.Close()
+
+	// The same query must return the same result count under every
+	// translator and engine.
+	for _, qn := range []string{"QS1", "QS3", "QA1"} {
+		ds, _ := DatasetOf(qn)
+		var results = -1
+		for _, tr := range []string{"dlabel", "split", "pushup", "unfold"} {
+			m, err := h.Run(ds, 1, qn, Fig10Queries[qn], tr, "relational", false)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", qn, tr, err)
+			}
+			if results == -1 {
+				results = m.Results
+			} else if m.Results != results {
+				t.Fatalf("%s/%s: %d results, want %d", qn, tr, m.Results, results)
+			}
+			if m.Results == 0 {
+				t.Fatalf("%s/%s returned nothing", qn, tr)
+			}
+		}
+		for _, tr := range []string{"dlabel", "split", "pushup"} {
+			m, err := h.Run(ds, 1, qn, Fig10Queries[qn], tr, "twig", false)
+			if err != nil {
+				t.Fatalf("%s/%s twig: %v", qn, tr, err)
+			}
+			if m.Results != results {
+				t.Fatalf("%s/%s twig: %d results, want %d", qn, tr, m.Results, results)
+			}
+		}
+	}
+}
+
+// TestPaperEffectsHold asserts the paper's headline findings on the
+// harness itself: BLAS translators visit fewer elements than D-labeling,
+// and suffix path queries need no joins.
+func TestPaperEffectsHold(t *testing.T) {
+	h := New()
+	h.Repeats = 1
+	defer h.Close()
+
+	// Suffix path query: split plan has no joins; D-labeling has l-1.
+	mSplit, err := h.Run("shakespeare", 1, "QS1", Fig10Queries["QS1"], "split", "relational", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSplit.Joins != 0 {
+		t.Fatalf("split joins on QS1 = %d", mSplit.Joins)
+	}
+	mBase, err := h.Run("shakespeare", 1, "QS1", Fig10Queries["QS1"], "dlabel", "relational", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBase.Joins != 5 {
+		t.Fatalf("baseline joins on QS1 = %d", mBase.Joins)
+	}
+	if mSplit.Visited >= mBase.Visited {
+		t.Fatalf("split visited %d >= baseline %d", mSplit.Visited, mBase.Visited)
+	}
+	// Fig. 16(b) effect: on the twig engine the gap persists.
+	tSplit, err := h.Run("auction", 1, "QA1", Fig10Queries["QA1"], "split", "twig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBase, err := h.Run("auction", 1, "QA1", Fig10Queries["QA1"], "dlabel", "twig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSplit.Visited >= tBase.Visited {
+		t.Fatalf("twig split read %d >= baseline %d", tSplit.Visited, tBase.Visited)
+	}
+}
+
+func TestFigureRunnersProduceOutput(t *testing.T) {
+	h := New()
+	h.Repeats = 1
+	defer h.Close()
+
+	var buf bytes.Buffer
+	if err := h.Fig11(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "π_") || !strings.Contains(buf.String(), "unfold") {
+		t.Fatalf("Fig11 output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := h.Fig12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Shakespeare", "Nodes", "Depth"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Fig12 missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	got := trimmedMean([]time.Duration{10, 100, 40}) // middle value only
+	if got != 40 {
+		t.Fatalf("trimmed mean = %d", got)
+	}
+	got = trimmedMean([]time.Duration{10, 20})
+	if got != 15 {
+		t.Fatalf("mean of two = %d", got)
+	}
+	if trimmedMean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}

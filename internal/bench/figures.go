@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/sqlgen"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+
+	"repro/internal/datagen"
+)
+
+// relational-engine translator lineup (Fig. 13) and twig-engine lineup
+// (Figs. 14-18; Unfold needs unions, which the twig prototype lacks —
+// §5.3.1, exactly as in the paper).
+var (
+	relTranslators  = []string{"dlabel", "split", "pushup", "unfold"}
+	twigTranslators = []string{"dlabel", "split", "pushup"}
+)
+
+// Fig11 prints the relational algebra expressions generated for QS3 by
+// each translator (paper Fig. 11).
+func (h *Harness) Fig11(w io.Writer) error {
+	st, err := h.Store("shakespeare", 1)
+	if err != nil {
+		return err
+	}
+	q, err := xpath.Parse(Fig10Queries["QS3"])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 11: plans generated for QS3 = %s\n\n", Fig10Queries["QS3"])
+	ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+	for _, name := range relTranslators {
+		tr, err := translate.ByName(name)
+		if err != nil {
+			return err
+		}
+		plan, err := tr(ctx, q)
+		if err != nil {
+			return err
+		}
+		eq, rng := plan.SelectionKinds()
+		fmt.Fprintf(w, "--- %s (%d D-joins, %d equality / %d range selections) ---\n%s\n\n",
+			name, plan.NumJoins(), eq, rng, sqlgen.Algebra(plan))
+	}
+	return nil
+}
+
+// Fig12 prints the data set characteristics table (paper Fig. 12).
+func (h *Harness) Fig12(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 12: XML data sets")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tShakespeare\tProtein\tAuction")
+	sizes := []string{}
+	nodes := []string{}
+	tags := []string{}
+	depths := []string{}
+	for _, name := range datagen.Names() {
+		tree, err := datagen.ByName(name, datagen.Options{Seed: h.Seed, Factor: 1})
+		if err != nil {
+			return err
+		}
+		st := xmltree.ComputeStats(tree)
+		var sz sizeCounter
+		if err := xmltree.WriteXML(&sz, tree); err != nil {
+			return err
+		}
+		sizes = append(sizes, fmt.Sprintf("%.1fMB", float64(sz)/1e6))
+		nodes = append(nodes, fmt.Sprint(st.Nodes))
+		tags = append(tags, fmt.Sprint(st.Tags))
+		depths = append(depths, fmt.Sprint(st.Depth))
+	}
+	fmt.Fprintf(tw, "Size\t%s\t%s\t%s\n", sizes[0], sizes[1], sizes[2])
+	fmt.Fprintf(tw, "Nodes\t%s\t%s\t%s\n", nodes[0], nodes[1], nodes[2])
+	fmt.Fprintf(tw, "Tags\t%s\t%s\t%s\n", tags[0], tags[1], tags[2])
+	fmt.Fprintf(tw, "Depth\t%s\t%s\t%s\n", depths[0], depths[1], depths[2])
+	return tw.Flush()
+}
+
+type sizeCounter int64
+
+func (s *sizeCounter) Write(p []byte) (int, error) {
+	*s += sizeCounter(len(p))
+	return len(p), nil
+}
+
+// Fig13 runs the relational-engine comparison (paper Fig. 13 a-c): the
+// nine Fig. 10 queries under all four translators.
+func (h *Harness) Fig13(w io.Writer, factor int) error {
+	fmt.Fprintf(w, "Figure 13: relational engine query time (data factor %d)\n", factor)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tD-labeling\tSplit\tPush-up\tUnfold\tresults")
+	for _, qn := range QueryOrder(Fig10Queries) {
+		ds, err := DatasetOf(qn)
+		if err != nil {
+			return err
+		}
+		row := qn
+		var results int
+		for _, tr := range relTranslators {
+			m, err := h.Run(ds, factor, qn, Fig10Queries[qn], tr, "relational", false)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("\t%s", fmtDur(m.Elapsed))
+			results = m.Results
+		}
+		fmt.Fprintf(tw, "%s\t%d\n", row, results)
+	}
+	return tw.Flush()
+}
+
+// Fig14 runs the twig-engine comparison over all nine queries with value
+// predicates stripped (paper Fig. 14 a and b), on data scaled by factor
+// (the paper uses x20).
+func (h *Harness) Fig14(w io.Writer, factor int) error {
+	fmt.Fprintf(w, "Figure 14: twig engine, all data sets (factor %d, value predicates stripped)\n", factor)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tD-lab time\tSplit time\tPush-up time\tD-lab read\tSplit read\tPush-up read")
+	for _, qn := range QueryOrder(Fig10Queries) {
+		ds, err := DatasetOf(qn)
+		if err != nil {
+			return err
+		}
+		times, reads := "", ""
+		for _, tr := range twigTranslators {
+			m, err := h.Run(ds, factor, qn, Fig10Queries[qn], tr, "twig", true)
+			if err != nil {
+				return err
+			}
+			times += fmt.Sprintf("\t%s", fmtDur(m.Elapsed))
+			reads += fmt.Sprintf("\t%d", m.Visited)
+		}
+		fmt.Fprintf(tw, "%s%s%s\n", qn, times, reads)
+	}
+	return tw.Flush()
+}
+
+// Fig15 runs the XMark benchmark skeleton queries on the twig engine
+// (paper Fig. 15 a and b).
+func (h *Harness) Fig15(w io.Writer, factor int) error {
+	fmt.Fprintf(w, "Figure 15: twig engine, XMark benchmark queries (Auction factor %d)\n", factor)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tD-lab time\tSplit time\tPush-up time\tD-lab read\tSplit read\tPush-up read")
+	for _, qn := range QueryOrder(Fig15Queries) {
+		times, reads := "", ""
+		for _, tr := range twigTranslators {
+			m, err := h.Run("auction", factor, qn, Fig15Queries[qn], tr, "twig", true)
+			if err != nil {
+				return err
+			}
+			times += fmt.Sprintf("\t%s", fmtDur(m.Elapsed))
+			reads += fmt.Sprintf("\t%d", m.Visited)
+		}
+		fmt.Fprintf(tw, "%s%s%s\n", qn, times, reads)
+	}
+	return tw.Flush()
+}
+
+// Scalability runs one Fig. 16/17/18 panel: a single query across
+// increasing Auction scale factors (the paper replicates the data set 10
+// to 60 times; factors here multiply the generator's entity counts the
+// same way).
+func (h *Harness) Scalability(w io.Writer, figure, queryName string, factors []int) error {
+	query, ok := Fig10Queries[queryName]
+	if !ok {
+		return fmt.Errorf("bench: unknown query %s", queryName)
+	}
+	fmt.Fprintf(w, "Figure %s: twig engine scalability for %s = %s\n", figure, queryName, query)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "factor\tD-lab time\tSplit time\tPush-up time\tD-lab read\tSplit read\tPush-up read")
+	for _, f := range factors {
+		times, reads := "", ""
+		for _, tr := range twigTranslators {
+			m, err := h.Run("auction", f, queryName, query, tr, "twig", true)
+			if err != nil {
+				return err
+			}
+			times += fmt.Sprintf("\t%s", fmtDur(m.Elapsed))
+			reads += fmt.Sprintf("\t%d", m.Visited)
+		}
+		fmt.Fprintf(tw, "x%d%s%s\n", f, times, reads)
+	}
+	return tw.Flush()
+}
+
+func fmtDur(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

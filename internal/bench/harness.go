@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relengine"
+	"repro/internal/translate"
+	"repro/internal/twig"
+	"repro/internal/xpath"
+)
+
+// Harness owns the stores for the experiment suite, building and caching
+// one per (data set, scale factor).
+type Harness struct {
+	// Repeats is the number of cold-cache repetitions per measurement;
+	// the paper repeats 10 times and averages after discarding min and
+	// max (§5.1). Values below 3 skip the discard.
+	Repeats int
+	// PoolPages is the buffer pool size per relation (0 = pager default).
+	PoolPages int
+	// Seed feeds the data generators.
+	Seed int64
+
+	stores map[string]*core.Store
+}
+
+// New returns a harness with the paper's measurement defaults.
+func New() *Harness {
+	return &Harness{Repeats: 3, Seed: 1, stores: map[string]*core.Store{}}
+}
+
+// Close releases every cached store.
+func (h *Harness) Close() {
+	for k, st := range h.stores {
+		st.Close()
+		delete(h.stores, k)
+	}
+}
+
+// Store returns the store for a data set at a scale factor, building it
+// on first use.
+func (h *Harness) Store(dataset string, factor int) (*core.Store, error) {
+	key := fmt.Sprintf("%s@%d", dataset, factor)
+	if st, ok := h.stores[key]; ok {
+		return st, nil
+	}
+	tree, err := datagen.ByName(dataset, datagen.Options{Seed: h.Seed, Factor: factor})
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.BuildFromTree(tree, core.Options{PoolPages: h.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	h.stores[key] = st
+	return st, nil
+}
+
+// Measurement is one (query, translator, engine) data point.
+type Measurement struct {
+	Query      string
+	Dataset    string
+	Factor     int
+	Translator string
+	Engine     string // "relational" or "twig"
+	Elapsed    time.Duration
+	Visited    uint64 // elements read (Figs. 14-18 (b) panels)
+	PageMisses uint64 // disk accesses
+	Results    int
+	Joins      int
+}
+
+// Run executes one measurement: repeated cold-cache executions, averaged
+// with min and max discarded (when Repeats >= 3), exactly as §5.1
+// describes.
+func (h *Harness) Run(dataset string, factor int, queryName, query, translator, engine string, stripValues bool) (Measurement, error) {
+	st, err := h.Store(dataset, factor)
+	if err != nil {
+		return Measurement{}, err
+	}
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s: %w", queryName, err)
+	}
+	if stripValues {
+		q = StripValues(q)
+	}
+	tr, err := translate.ByName(translator)
+	if err != nil {
+		return Measurement{}, err
+	}
+	plan, err := tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}, q)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: translate %s/%s: %w", queryName, translator, err)
+	}
+
+	repeats := h.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	times := make([]time.Duration, 0, repeats)
+	m := Measurement{
+		Query: queryName, Dataset: dataset, Factor: factor,
+		Translator: translator, Engine: engine, Joins: plan.NumJoins(),
+	}
+	for i := 0; i < repeats; i++ {
+		if err := st.DropCaches(); err != nil {
+			return Measurement{}, err
+		}
+		st.ResetCounters()
+		begin := time.Now()
+		var results int
+		switch engine {
+		case "twig":
+			res, err := twig.Execute(st, plan)
+			if err != nil {
+				return Measurement{}, fmt.Errorf("bench: %s/%s twig: %w", queryName, translator, err)
+			}
+			results = len(res.Records)
+		default:
+			res, err := relengine.Execute(st, plan, relengine.Options{})
+			if err != nil {
+				return Measurement{}, fmt.Errorf("bench: %s/%s relational: %w", queryName, translator, err)
+			}
+			results = len(res.Records)
+		}
+		times = append(times, time.Since(begin))
+		c := st.Snapshot()
+		m.Visited = c.Visited
+		m.PageMisses = c.PageMisses
+		m.Results = results
+	}
+	m.Elapsed = trimmedMean(times)
+	return m, nil
+}
+
+// trimmedMean averages after discarding the minimum and maximum (with 3+
+// samples), following §5.1.
+func trimmedMean(ts []time.Duration) time.Duration {
+	if len(ts) == 0 {
+		return 0
+	}
+	if len(ts) < 3 {
+		var sum time.Duration
+		for _, t := range ts {
+			sum += t
+		}
+		return sum / time.Duration(len(ts))
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	var sum time.Duration
+	for _, t := range ts[1 : len(ts)-1] {
+		sum += t
+	}
+	return sum / time.Duration(len(ts)-2)
+}

@@ -1,0 +1,84 @@
+// Package bench reproduces the paper's evaluation (§5): every figure's
+// workload, parameter sweep and report format. cmd/blasbench and the
+// repository's bench_test.go are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xpath"
+)
+
+// The query sets of Fig. 10. Names follow the paper: QXY where X is the
+// data set (S, P, A) and Y the query type (1 = suffix path, 2 = path with
+// descendant axis, 3 = tree query).
+var Fig10Queries = map[string]string{
+	"QS1": "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+	"QS2": "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",
+	"QS3": `/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`,
+	"QP1": "/ProteinDatabase/ProteinEntry/protein/name",
+	"QP2": `/ProteinDatabase/ProteinEntry//authors/author="Daniel, M."`,
+	"QP3": "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+	"QA1": "//category/description/parlist/listitem",
+	"QA2": "/site/regions//item/description",
+	"QA3": "/site/regions/asia/item[shipping]/description",
+}
+
+// XMark benchmark queries for Fig. 15. The paper runs XMark's Q1-Q6
+// without Q3 (positional predicates are outside the twig engines'
+// language) and strips value predicates (§5.3.1); these are the
+// structural skeletons of those queries over the Auction schema.
+var Fig15Queries = map[string]string{
+	"Q1": "/site/people/person/name",
+	"Q2": "/site/open_auctions/open_auction/bidder/increase",
+	"Q4": "/site/closed_auctions/closed_auction[annotation]/price",
+	"Q5": "/site/closed_auctions/closed_auction/price",
+	"Q6": "/site/regions//item",
+}
+
+// QueryOrder returns query names in the paper's presentation order.
+func QueryOrder(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DatasetOf maps a Fig. 10 query name to its data set.
+func DatasetOf(query string) (string, error) {
+	if len(query) < 2 {
+		return "", fmt.Errorf("bench: bad query name %q", query)
+	}
+	switch query[1] {
+	case 'S':
+		return "shakespeare", nil
+	case 'P':
+		return "protein", nil
+	case 'A', '1', '2', '4', '5', '6':
+		return "auction", nil
+	}
+	return "", fmt.Errorf("bench: bad query name %q", query)
+}
+
+// StripValues removes every value predicate from a query, as the paper
+// does for the twig-join experiments (§5.3.1: "we removed value
+// predicates from the queries").
+func StripValues(q xpath.Query) xpath.Query {
+	c := q.Clone()
+	var walk func(n *xpath.Node)
+	walk = func(n *xpath.Node) {
+		if n == nil {
+			return
+		}
+		n.Value = nil
+		for _, b := range n.Branches {
+			walk(b)
+		}
+		walk(n.Next)
+	}
+	walk(c.Root)
+	return c
+}

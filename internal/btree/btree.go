@@ -1,0 +1,417 @@
+// Package btree implements an in-memory B+ tree keyed by byte strings.
+//
+// The tree stores values of any type under []byte keys ordered bytewise
+// (see internal/keyenc for order-preserving key construction). Leaves are
+// linked, so range scans are sequential. The tree supports insertion,
+// replacement, deletion with rebalancing, point lookups, and half-open
+// range scans.
+//
+// BLAS uses this structure for the in-memory side of its indexes and as a
+// general ordered-map substrate (e.g. deduplication, tag dictionaries).
+package btree
+
+import "bytes"
+
+// DefaultDegree is the default maximum number of children of an internal
+// node (and the maximum number of entries in a leaf).
+const DefaultDegree = 64
+
+// Map is a B+ tree mapping []byte keys to values of type V.
+// The zero value is not usable; call New.
+type Map[V any] struct {
+	degree int
+	root   node[V]
+	size   int
+}
+
+type node[V any] interface {
+	isLeaf() bool
+}
+
+type leaf[V any] struct {
+	keys [][]byte
+	vals []V
+	next *leaf[V]
+	prev *leaf[V]
+}
+
+func (*leaf[V]) isLeaf() bool { return true }
+
+type inner[V any] struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     [][]byte
+	children []node[V]
+}
+
+func (*inner[V]) isLeaf() bool { return false }
+
+// New returns an empty tree with the given degree (maximum fanout).
+// Degrees below 4 are raised to 4.
+func New[V any](degree int) *Map[V] {
+	if degree < 4 {
+		degree = 4
+	}
+	return &Map[V]{degree: degree, root: &leaf[V]{}}
+}
+
+// NewDefault returns an empty tree with DefaultDegree.
+func NewDefault[V any]() *Map[V] { return New[V](DefaultDegree) }
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.size }
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key []byte) (V, bool) {
+	lf, idx, found := m.find(key)
+	if !found {
+		var zero V
+		return zero, false
+	}
+	return lf.vals[idx], true
+}
+
+// find locates the leaf and slot where key lives or would be inserted.
+func (m *Map[V]) find(key []byte) (*leaf[V], int, bool) {
+	n := m.root
+	for !n.isLeaf() {
+		in := n.(*inner[V])
+		i := searchKeys(in.keys, key)
+		n = in.children[i]
+	}
+	lf := n.(*leaf[V])
+	i := searchKeys(lf.keys, key)
+	// searchKeys returns the number of keys strictly <= key... see below.
+	if i > 0 && bytes.Equal(lf.keys[i-1], key) {
+		return lf, i - 1, true
+	}
+	return lf, i, false
+}
+
+// searchKeys returns the smallest index i such that key < keys[i] is false
+// for all j < i; that is, the count of keys <= key.
+func searchKeys(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Set stores value under key, replacing any existing value.
+// The key is copied; callers may reuse the slice.
+func (m *Map[V]) Set(key []byte, value V) {
+	k := append([]byte(nil), key...)
+	newChild, splitKey := m.insert(m.root, k, value)
+	if newChild != nil {
+		m.root = &inner[V]{
+			keys:     [][]byte{splitKey},
+			children: []node[V]{m.root, newChild},
+		}
+	}
+}
+
+// insert adds (key,value) under n. If n splits, it returns the new right
+// sibling and the smallest key reachable under it.
+func (m *Map[V]) insert(n node[V], key []byte, value V) (node[V], []byte) {
+	if n.isLeaf() {
+		lf := n.(*leaf[V])
+		i := searchKeys(lf.keys, key)
+		if i > 0 && bytes.Equal(lf.keys[i-1], key) {
+			lf.vals[i-1] = value
+			return nil, nil
+		}
+		lf.keys = insertAt(lf.keys, i, key)
+		lf.vals = insertAt(lf.vals, i, value)
+		m.size++
+		if len(lf.keys) <= m.degree {
+			return nil, nil
+		}
+		// Split.
+		mid := len(lf.keys) / 2
+		right := &leaf[V]{
+			keys: append([][]byte(nil), lf.keys[mid:]...),
+			vals: append([]V(nil), lf.vals[mid:]...),
+			next: lf.next,
+			prev: lf,
+		}
+		if lf.next != nil {
+			lf.next.prev = right
+		}
+		lf.keys = lf.keys[:mid:mid]
+		lf.vals = lf.vals[:mid:mid]
+		lf.next = right
+		return right, right.keys[0]
+	}
+
+	in := n.(*inner[V])
+	i := searchKeys(in.keys, key)
+	newChild, splitKey := m.insert(in.children[i], key, value)
+	if newChild == nil {
+		return nil, nil
+	}
+	in.keys = insertAt(in.keys, i, splitKey)
+	in.children = insertAt(in.children, i+1, newChild)
+	if len(in.children) <= m.degree {
+		return nil, nil
+	}
+	// Split: middle key moves up.
+	midKey := len(in.keys) / 2
+	upKey := in.keys[midKey]
+	right := &inner[V]{
+		keys:     append([][]byte(nil), in.keys[midKey+1:]...),
+		children: append([]node[V](nil), in.children[midKey+1:]...),
+	}
+	in.keys = in.keys[:midKey:midKey]
+	in.children = in.children[: midKey+1 : midKey+1]
+	return right, upKey
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	s = append(s, v)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Delete removes key and reports whether it was present.
+func (m *Map[V]) Delete(key []byte) bool {
+	found := m.delete(m.root, key)
+	if !found {
+		return false
+	}
+	m.size--
+	// Collapse a root with a single child.
+	if in, ok := m.root.(*inner[V]); ok && len(in.children) == 1 {
+		m.root = in.children[0]
+	}
+	return true
+}
+
+func (m *Map[V]) minKeys() int { return (m.degree + 1) / 2 }
+
+// delete removes key from the subtree rooted at n, rebalancing children as
+// needed. The root itself is allowed to underflow.
+func (m *Map[V]) delete(n node[V], key []byte) bool {
+	if n.isLeaf() {
+		lf := n.(*leaf[V])
+		i := searchKeys(lf.keys, key)
+		if i == 0 || !bytes.Equal(lf.keys[i-1], key) {
+			return false
+		}
+		lf.keys = removeAt(lf.keys, i-1)
+		lf.vals = removeAt(lf.vals, i-1)
+		return true
+	}
+
+	in := n.(*inner[V])
+	i := searchKeys(in.keys, key)
+	if !m.delete(in.children[i], key) {
+		return false
+	}
+	m.rebalance(in, i)
+	return true
+}
+
+// rebalance fixes child i of in if it underflowed.
+func (m *Map[V]) rebalance(in *inner[V], i int) {
+	child := in.children[i]
+	if childLen[V](child) >= m.minKeys()/2 {
+		return
+	}
+	// Try to borrow from siblings, otherwise merge.
+	if i > 0 && childLen[V](in.children[i-1]) > m.minKeys()/2 {
+		m.borrowLeft(in, i)
+		return
+	}
+	if i < len(in.children)-1 && childLen[V](in.children[i+1]) > m.minKeys()/2 {
+		m.borrowRight(in, i)
+		return
+	}
+	if i > 0 {
+		m.merge(in, i-1)
+	} else if i < len(in.children)-1 {
+		m.merge(in, i)
+	}
+}
+
+func childLen[V any](n node[V]) int {
+	if n.isLeaf() {
+		return len(n.(*leaf[V]).keys)
+	}
+	return len(n.(*inner[V]).children)
+}
+
+func (m *Map[V]) borrowLeft(in *inner[V], i int) {
+	if in.children[i].isLeaf() {
+		left, cur := in.children[i-1].(*leaf[V]), in.children[i].(*leaf[V])
+		n := len(left.keys)
+		cur.keys = insertAt(cur.keys, 0, left.keys[n-1])
+		cur.vals = insertAt(cur.vals, 0, left.vals[n-1])
+		left.keys = left.keys[:n-1]
+		left.vals = left.vals[:n-1]
+		in.keys[i-1] = cur.keys[0]
+		return
+	}
+	left, cur := in.children[i-1].(*inner[V]), in.children[i].(*inner[V])
+	nk, nc := len(left.keys), len(left.children)
+	cur.keys = insertAt(cur.keys, 0, in.keys[i-1])
+	cur.children = insertAt(cur.children, 0, left.children[nc-1])
+	in.keys[i-1] = left.keys[nk-1]
+	left.keys = left.keys[:nk-1]
+	left.children = left.children[:nc-1]
+}
+
+func (m *Map[V]) borrowRight(in *inner[V], i int) {
+	if in.children[i].isLeaf() {
+		cur, right := in.children[i].(*leaf[V]), in.children[i+1].(*leaf[V])
+		cur.keys = append(cur.keys, right.keys[0])
+		cur.vals = append(cur.vals, right.vals[0])
+		right.keys = removeAt(right.keys, 0)
+		right.vals = removeAt(right.vals, 0)
+		in.keys[i] = right.keys[0]
+		return
+	}
+	cur, right := in.children[i].(*inner[V]), in.children[i+1].(*inner[V])
+	cur.keys = append(cur.keys, in.keys[i])
+	cur.children = append(cur.children, right.children[0])
+	in.keys[i] = right.keys[0]
+	right.keys = removeAt(right.keys, 0)
+	right.children = removeAt(right.children, 0)
+}
+
+// merge joins children i and i+1 of in into child i.
+func (m *Map[V]) merge(in *inner[V], i int) {
+	if in.children[i].isLeaf() {
+		left, right := in.children[i].(*leaf[V]), in.children[i+1].(*leaf[V])
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+		if right.next != nil {
+			right.next.prev = left
+		}
+	} else {
+		left, right := in.children[i].(*inner[V]), in.children[i+1].(*inner[V])
+		left.keys = append(left.keys, in.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	in.keys = removeAt(in.keys, i)
+	in.children = removeAt(in.children, i+1)
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	var zero T
+	s[len(s)-1] = zero
+	return s[:len(s)-1]
+}
+
+// Iter is a forward iterator over a key range.
+type Iter[V any] struct {
+	lf   *leaf[V]
+	idx  int
+	to   []byte // exclusive bound, nil = unbounded
+	key  []byte
+	val  V
+	done bool
+}
+
+// Scan returns an iterator over keys in [from, to). A nil from starts at
+// the smallest key; a nil to means no upper bound.
+func (m *Map[V]) Scan(from, to []byte) *Iter[V] {
+	var lf *leaf[V]
+	var idx int
+	if from == nil {
+		n := m.root
+		for !n.isLeaf() {
+			n = n.(*inner[V]).children[0]
+		}
+		lf, idx = n.(*leaf[V]), 0
+	} else {
+		// find returns the slot of the match when present, otherwise the
+		// slot of the first key greater than from; both are where the scan
+		// should begin.
+		lf, idx, _ = m.find(from)
+	}
+	return &Iter[V]{lf: lf, idx: idx, to: to}
+}
+
+// ScanPrefix returns an iterator over all keys with the given prefix.
+func (m *Map[V]) ScanPrefix(prefix []byte) *Iter[V] {
+	return m.Scan(prefix, prefixSuccessor(prefix))
+}
+
+func prefixSuccessor(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// Next advances the iterator and reports whether a new entry is available.
+func (it *Iter[V]) Next() bool {
+	if it.done {
+		return false
+	}
+	for it.lf != nil && it.idx >= len(it.lf.keys) {
+		it.lf = it.lf.next
+		it.idx = 0
+	}
+	if it.lf == nil {
+		it.done = true
+		return false
+	}
+	k := it.lf.keys[it.idx]
+	if it.to != nil && bytes.Compare(k, it.to) >= 0 {
+		it.done = true
+		return false
+	}
+	it.key = k
+	it.val = it.lf.vals[it.idx]
+	it.idx++
+	return true
+}
+
+// Key returns the current key. Valid until the next call to Next.
+func (it *Iter[V]) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iter[V]) Value() V { return it.val }
+
+// Min returns the smallest key and its value.
+func (m *Map[V]) Min() ([]byte, V, bool) {
+	n := m.root
+	for !n.isLeaf() {
+		n = n.(*inner[V]).children[0]
+	}
+	lf := n.(*leaf[V])
+	if len(lf.keys) == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (m *Map[V]) Max() ([]byte, V, bool) {
+	n := m.root
+	for !n.isLeaf() {
+		in := n.(*inner[V])
+		n = in.children[len(in.children)-1]
+	}
+	lf := n.(*leaf[V])
+	if len(lf.keys) == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	return lf.keys[len(lf.keys)-1], lf.vals[len(lf.keys)-1], true
+}

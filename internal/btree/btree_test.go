@@ -1,0 +1,322 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("%08d", i)) }
+
+func TestEmpty(t *testing.T) {
+	m := NewDefault[int]()
+	if m.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := m.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if m.Delete([]byte("x")) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if it := m.Scan(nil, nil); it.Next() {
+		t.Fatal("scan of empty tree yielded an entry")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := m.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	m := New[string](4)
+	m.Set([]byte("a"), "1")
+	m.Set([]byte("b"), "2")
+	m.Set([]byte("a"), "replaced")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get([]byte("a")); !ok || v != "replaced" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	m := NewDefault[int]()
+	k := []byte("mutate-me")
+	m.Set(k, 1)
+	k[0] = 'X'
+	if _, ok := m.Get([]byte("mutate-me")); !ok {
+		t.Fatal("tree key was aliased to caller's slice")
+	}
+}
+
+func TestOrderedInsertScan(t *testing.T) {
+	for _, degree := range []int{4, 5, 8, 64} {
+		m := New[int](degree)
+		const n = 500
+		for i := 0; i < n; i++ {
+			m.Set(key(i), i)
+		}
+		if m.Len() != n {
+			t.Fatalf("degree %d: Len = %d", degree, m.Len())
+		}
+		it := m.Scan(nil, nil)
+		for i := 0; i < n; i++ {
+			if !it.Next() {
+				t.Fatalf("degree %d: scan ended early at %d", degree, i)
+			}
+			if !bytes.Equal(it.Key(), key(i)) || it.Value() != i {
+				t.Fatalf("degree %d: scan[%d] = %s/%d", degree, i, it.Key(), it.Value())
+			}
+		}
+		if it.Next() {
+			t.Fatalf("degree %d: scan yielded extra entries", degree)
+		}
+	}
+}
+
+func TestReverseInsert(t *testing.T) {
+	m := New[int](4)
+	const n = 300
+	for i := n - 1; i >= 0; i-- {
+		m.Set(key(i), i)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(key(i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	m := New[int](4)
+	for i := 0; i < 100; i++ {
+		m.Set(key(i*2), i*2) // even keys only
+	}
+	// [10, 20) -> 10,12,14,16,18
+	it := m.Scan(key(10), key(20))
+	var got []int
+	for it.Next() {
+		got = append(got, it.Value())
+	}
+	want := []int{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Scan starting between keys.
+	it = m.Scan(key(11), key(15))
+	got = nil
+	for it.Next() {
+		got = append(got, it.Value())
+	}
+	if len(got) != 2 || got[0] != 12 || got[1] != 14 {
+		t.Fatalf("between-keys scan got %v", got)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	m := NewDefault[int]()
+	m.Set([]byte("app"), 1)
+	m.Set([]byte("apple"), 2)
+	m.Set([]byte("apply"), 3)
+	m.Set([]byte("banana"), 4)
+	it := m.ScanPrefix([]byte("appl"))
+	var got []int
+	for it.Next() {
+		got = append(got, it.Value())
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("prefix scan got %v", got)
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	m := New[int](4)
+	for i := 0; i < 50; i++ {
+		m.Set(key(i), i)
+	}
+	for i := 0; i < 50; i += 2 {
+		if !m.Delete(key(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if m.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", m.Len())
+	}
+	for i := 0; i < 50; i++ {
+		_, ok := m.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	// Scan still ordered.
+	it := m.Scan(nil, nil)
+	prev := -1
+	for it.Next() {
+		if it.Value() <= prev {
+			t.Fatalf("scan out of order: %d after %d", it.Value(), prev)
+		}
+		prev = it.Value()
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	for _, degree := range []int{4, 7, 64} {
+		m := New[int](degree)
+		const n = 400
+		perm := rand.New(rand.NewSource(42)).Perm(n)
+		for _, i := range perm {
+			m.Set(key(i), i)
+		}
+		perm2 := rand.New(rand.NewSource(43)).Perm(n)
+		for _, i := range perm2 {
+			if !m.Delete(key(i)) {
+				t.Fatalf("degree %d: Delete(%d) failed", degree, i)
+			}
+		}
+		if m.Len() != 0 {
+			t.Fatalf("degree %d: Len = %d after deleting all", degree, m.Len())
+		}
+		if it := m.Scan(nil, nil); it.Next() {
+			t.Fatalf("degree %d: scan after delete-all yielded entries", degree)
+		}
+		// Tree must still be usable.
+		m.Set(key(1), 1)
+		if v, ok := m.Get(key(1)); !ok || v != 1 {
+			t.Fatalf("degree %d: reuse after delete-all failed", degree)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := New[int](4)
+	for i := 10; i <= 90; i += 10 {
+		m.Set(key(i), i)
+	}
+	if k, v, ok := m.Min(); !ok || !bytes.Equal(k, key(10)) || v != 10 {
+		t.Fatalf("Min = %s/%d/%v", k, v, ok)
+	}
+	if k, v, ok := m.Max(); !ok || !bytes.Equal(k, key(90)) || v != 90 {
+		t.Fatalf("Max = %s/%d/%v", k, v, ok)
+	}
+}
+
+// TestRandomizedAgainstMap exercises mixed workloads of inserts, deletes
+// and scans against a reference map.
+func TestRandomizedAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	m := New[int](5)
+	ref := map[string]int{}
+	for step := 0; step < 20000; step++ {
+		k := key(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0, 1: // insert
+			v := r.Int()
+			m.Set(k, v)
+			ref[string(k)] = v
+		case 2: // delete
+			want := false
+			if _, ok := ref[string(k)]; ok {
+				want = true
+				delete(ref, string(k))
+			}
+			if got := m.Delete(k); got != want {
+				t.Fatalf("step %d: Delete(%s) = %v, want %v", step, k, got, want)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref = %d", step, m.Len(), len(ref))
+		}
+	}
+	// Final verification: full scan equals sorted reference.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	it := m.Scan(nil, nil)
+	for _, k := range keys {
+		if !it.Next() {
+			t.Fatalf("scan ended before %s", k)
+		}
+		if string(it.Key()) != k || it.Value() != ref[k] {
+			t.Fatalf("scan got %s/%d, want %s/%d", it.Key(), it.Value(), k, ref[k])
+		}
+	}
+	if it.Next() {
+		t.Fatal("scan has extra entries")
+	}
+}
+
+// TestRandomRangeScans compares range scans against the reference on random
+// bounds.
+func TestRandomRangeScans(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	m := New[int](6)
+	ref := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		k := key(r.Intn(5000))
+		m.Set(k, i)
+		ref[string(k)] = i
+	}
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for trial := 0; trial < 200; trial++ {
+		lo := key(r.Intn(5000))
+		hi := key(r.Intn(5000))
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var want []string
+		for _, k := range keys {
+			if k >= string(lo) && k < string(hi) {
+				want = append(want, k)
+			}
+		}
+		it := m.Scan(lo, hi)
+		for _, k := range want {
+			if !it.Next() {
+				t.Fatalf("trial %d: scan ended before %s", trial, k)
+			}
+			if string(it.Key()) != k {
+				t.Fatalf("trial %d: got %s, want %s", trial, it.Key(), k)
+			}
+		}
+		if it.Next() {
+			t.Fatalf("trial %d: extra results", trial)
+		}
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	m := NewDefault[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Set(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := NewDefault[int]()
+	for i := 0; i < 100000; i++ {
+		m.Set(key(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Get(key(i % 100000))
+	}
+}

@@ -1,0 +1,229 @@
+// Package core assembles the BLAS system (paper Fig. 6): the index
+// generator that shreds an XML document into bi-labeled relations, and
+// the Store that owns the relations, the P-labeling scheme, and the
+// schema graph that the Unfold translator consumes.
+//
+// A Store holds both of the paper's relations:
+//
+//	SP(plabel, start, end, level, data) clustered by {plabel, start}
+//	SD(tag,    start, end, level, data) clustered by {tag, start}
+//
+// SP serves the BLAS translators, SD the D-labeling baseline, so every
+// experiment in §5 runs against one store.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/pager"
+	"repro/internal/plabel"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+)
+
+// Options configures store construction and opening.
+type Options struct {
+	// Dir is the directory holding the store files (sp.pg, sd.pg,
+	// meta.json). Empty means an in-memory store.
+	Dir string
+	// PoolPages is the buffer pool capacity per relation file;
+	// 0 selects the pager default.
+	PoolPages int
+}
+
+// Store is an open BLAS store.
+type Store struct {
+	scheme *plabel.Scheme
+	graph  *schema.Graph
+	sp     *relstore.Relation
+	sd     *relstore.Relation
+	spFile *pager.File
+	sdFile *pager.File
+	meta   storeMeta
+}
+
+type storeMeta struct {
+	Tags     []string    `json:"tags"`
+	Roots    []string    `json:"roots"`
+	Edges    [][2]string `json:"edges"`
+	MaxDepth int         `json:"max_depth"`
+	Nodes    uint64      `json:"nodes"`
+	Units    uint32      `json:"units"` // total position units in the document
+}
+
+// Scheme returns the store's P-labeling scheme.
+func (s *Store) Scheme() *plabel.Scheme { return s.scheme }
+
+// Schema returns the schema graph extracted at shred time.
+func (s *Store) Schema() *schema.Graph { return s.graph }
+
+// SP returns the plabel-clustered relation.
+func (s *Store) SP() *relstore.Relation { return s.sp }
+
+// SD returns the tag-clustered relation.
+func (s *Store) SD() *relstore.Relation { return s.sd }
+
+// NodeCount returns the number of nodes (element + attribute).
+func (s *Store) NodeCount() uint64 { return s.meta.Nodes }
+
+// TagID returns the P-label digit used as the tag id of tag.
+func (s *Store) TagID(tag string) (uint32, bool) {
+	d, ok := s.scheme.TagDigit(tag)
+	return uint32(d), ok
+}
+
+// TagName returns the tag whose id is id.
+func (s *Store) TagName(id uint32) (string, bool) {
+	tags := s.scheme.Tags()
+	if id < 1 || int(id) > len(tags) {
+		return "", false
+	}
+	return tags[id-1], true
+}
+
+// ResetCounters zeroes the visited-element counters and the buffer pool
+// statistics of both relations.
+func (s *Store) ResetCounters() {
+	s.sp.ResetCounters()
+	s.sd.ResetCounters()
+	s.spFile.ResetStats()
+	s.sdFile.ResetStats()
+}
+
+// DropCaches empties both buffer pools (the paper's experiments run on a
+// cold cache, §5.1).
+func (s *Store) DropCaches() error {
+	if err := s.spFile.DropCache(); err != nil {
+		return err
+	}
+	return s.sdFile.DropCache()
+}
+
+// Counters is a snapshot of the store's access statistics.
+type Counters struct {
+	Visited    uint64 // records decoded by scans ("elements read")
+	PageReads  uint64
+	PageMisses uint64 // "disk accesses"
+}
+
+// Snapshot returns the current counters, aggregated over both relations.
+func (s *Store) Snapshot() Counters {
+	spst, sdst := s.spFile.Stats(), s.sdFile.Stats()
+	return Counters{
+		Visited:    s.sp.Visited() + s.sd.Visited(),
+		PageReads:  spst.Reads + sdst.Reads,
+		PageMisses: spst.Misses + sdst.Misses,
+	}
+}
+
+// Close flushes and closes the store files.
+func (s *Store) Close() error {
+	err1 := s.spFile.Close()
+	err2 := s.sdFile.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func openFiles(opts Options, create bool) (sp, sd *pager.File, err error) {
+	if opts.Dir == "" {
+		return pager.OpenMem(opts.PoolPages), pager.OpenMem(opts.PoolPages), nil
+	}
+	if create {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sp, err = pager.Open(filepath.Join(opts.Dir, "sp.pg"), opts.PoolPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	sd, err = pager.Open(filepath.Join(opts.Dir, "sd.pg"), opts.PoolPages)
+	if err != nil {
+		sp.Close()
+		return nil, nil, err
+	}
+	return sp, sd, nil
+}
+
+// Open opens an existing on-disk store.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("core: Open requires a directory")
+	}
+	raw, err := os.ReadFile(filepath.Join(opts.Dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("core: bad meta.json: %w", err)
+	}
+	spFile, sdFile, err := openFiles(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(meta, spFile, sdFile)
+}
+
+func assemble(meta storeMeta, spFile, sdFile *pager.File) (*Store, error) {
+	scheme, err := plabel.NewScheme(meta.Tags)
+	if err != nil {
+		spFile.Close()
+		sdFile.Close()
+		return nil, err
+	}
+	g := schema.New()
+	for _, r := range meta.Roots {
+		g.AddRoot(r)
+	}
+	for _, e := range meta.Edges {
+		g.AddEdge(e[0], e[1])
+	}
+	g.ObserveDepth(meta.MaxDepth)
+
+	sp, err := relstore.Open(spFile)
+	if err != nil {
+		spFile.Close()
+		sdFile.Close()
+		return nil, fmt.Errorf("core: open SP: %w", err)
+	}
+	if sp.Kind() != relstore.ClusterPLabel {
+		spFile.Close()
+		sdFile.Close()
+		return nil, fmt.Errorf("core: sp.pg has clustering %v", sp.Kind())
+	}
+	sd, err := relstore.Open(sdFile)
+	if err != nil {
+		spFile.Close()
+		sdFile.Close()
+		return nil, fmt.Errorf("core: open SD: %w", err)
+	}
+	if sd.Kind() != relstore.ClusterTag {
+		spFile.Close()
+		sdFile.Close()
+		return nil, fmt.Errorf("core: sd.pg has clustering %v", sd.Kind())
+	}
+	return &Store{
+		scheme: scheme,
+		graph:  g,
+		sp:     sp,
+		sd:     sd,
+		spFile: spFile,
+		sdFile: sdFile,
+		meta:   meta,
+	}, nil
+}
+
+// saveMeta writes meta.json for on-disk stores.
+func saveMeta(dir string, meta storeMeta) error {
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "meta.json"), raw, 0o644)
+}

@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var firstNames = []string{"Maya", "Jun", "Olaf", "Priya", "Kofi", "Elena", "Tariq", "Ana"}
+var lastNames = []string{"Ito", "Okafor", "Nilsson", "Sharma", "Costa", "Weber", "Haddad", "Silva"}
+
+var itemWords = []string{
+	"vintage", "rare", "antique", "signed", "boxed", "mint", "classic",
+	"limited", "edition", "collector", "series", "original",
+}
+
+// Auction generates the XMark-style auction data: recursive DTD
+// (description/parlist/listitem recursion), 77 distinct tags (attributes
+// included, as the paper counts them), depth 12.
+func Auction(o Options) *xmltree.Node {
+	rnd := rand.New(rand.NewSource(o.Seed ^ 0xa0c710))
+	f := o.factor()
+	root := xmltree.New("site")
+
+	nItems := 648 * f // per region: nItems/6
+	nCats := 324 * f
+	nPeople := 1375 * f
+	nOpen, nClosed := 650*f, 525*f
+
+	// regions
+	reg := root.AppendNew("regions")
+	item := 0
+	for _, rn := range regions {
+		region := reg.AppendNew(rn)
+		for i := 0; i < nItems/len(regions); i++ {
+			it := region.AppendNew("item")
+			it.SetAttr("id", fmt.Sprintf("item%d", item))
+			it.SetAttr("featured", pick(rnd, "yes", "no"))
+			it.AppendText("location", pick(rnd, "United States", "Japan", "Germany", "Kenya"))
+			it.AppendText("quantity", fmt.Sprint(1+rnd.Intn(5)))
+			it.AppendText("name", randWordsFrom(rnd, itemWords, 3))
+			payment := it.AppendNew("payment")
+			payment.Text = pick(rnd, "Creditcard", "Money order", "Cash")
+			description(rnd, it, 5, i == 0)
+			if rnd.Intn(2) == 0 {
+				it.AppendText("shipping", pick(rnd, "Will ship internationally", "Buyer pays fixed shipping charges"))
+			}
+			for c := 0; c < 1+rnd.Intn(2); c++ {
+				inc := it.AppendNew("incategory")
+				inc.SetAttr("category", fmt.Sprintf("category%d", rnd.Intn(nCats)))
+			}
+			if rnd.Intn(3) == 0 {
+				mb := it.AppendNew("mailbox")
+				mail := mb.AppendNew("mail")
+				mail.AppendText("from", randName(rnd))
+				mail.AppendText("to", randName(rnd))
+				mail.AppendText("date", randDate(rnd))
+				text(rnd, mail, 7)
+			}
+			item++
+		}
+	}
+
+	// categories
+	cats := root.AppendNew("categories")
+	for c := 0; c < nCats; c++ {
+		cat := cats.AppendNew("category")
+		cat.SetAttr("id", fmt.Sprintf("category%d", c))
+		cat.AppendText("name", randWordsFrom(rnd, itemWords, 2))
+		description(rnd, cat, 4, c == 0)
+	}
+
+	// catgraph
+	cg := root.AppendNew("catgraph")
+	for c := 0; c < nCats/2; c++ {
+		edge := cg.AppendNew("edge")
+		edge.SetAttr("from", fmt.Sprintf("category%d", rnd.Intn(nCats)))
+		edge.SetAttr("to", fmt.Sprintf("category%d", rnd.Intn(nCats)))
+	}
+
+	// people
+	people := root.AppendNew("people")
+	for p := 0; p < nPeople; p++ {
+		person := people.AppendNew("person")
+		person.SetAttr("id", fmt.Sprintf("person%d", p))
+		person.AppendText("name", randName(rnd))
+		person.AppendText("emailaddress", fmt.Sprintf("mailto:u%d@example.org", p))
+		if rnd.Intn(2) == 0 {
+			person.AppendText("phone", fmt.Sprintf("+1 (%03d) 555-01%02d", 200+rnd.Intn(700), rnd.Intn(100)))
+		}
+		if rnd.Intn(2) == 0 {
+			addr := person.AppendNew("address")
+			addr.AppendText("street", fmt.Sprintf("%d Main St", 1+rnd.Intn(99)))
+			addr.AppendText("city", pick(rnd, "Tokyo", "Berlin", "Nairobi", "Lima"))
+			addr.AppendText("country", pick(rnd, "Japan", "Germany", "Kenya", "Peru"))
+			addr.AppendText("zipcode", fmt.Sprint(10000+rnd.Intn(89999)))
+		}
+		if rnd.Intn(3) == 0 {
+			person.AppendText("creditcard", fmt.Sprintf("%04d %04d %04d %04d", rnd.Intn(9999), rnd.Intn(9999), rnd.Intn(9999), rnd.Intn(9999)))
+		}
+		if rnd.Intn(2) == 0 {
+			prof := person.AppendNew("profile")
+			prof.SetAttr("income", fmt.Sprintf("%d", 20000+rnd.Intn(80000)))
+			for i := 0; i < rnd.Intn(3); i++ {
+				in := prof.AppendNew("interest")
+				in.SetAttr("category", fmt.Sprintf("category%d", rnd.Intn(nCats)))
+			}
+			prof.AppendText("business", pick(rnd, "Yes", "No"))
+		}
+		if rnd.Intn(3) == 0 {
+			w := person.AppendNew("watches")
+			for i := 0; i < 1+rnd.Intn(2); i++ {
+				watch := w.AppendNew("watch")
+				watch.SetAttr("open_auction", fmt.Sprintf("open_auction%d", rnd.Intn(nOpen)))
+			}
+		}
+	}
+
+	// open auctions
+	open := root.AppendNew("open_auctions")
+	for a := 0; a < nOpen; a++ {
+		oa := open.AppendNew("open_auction")
+		oa.SetAttr("id", fmt.Sprintf("open_auction%d", a))
+		oa.AppendText("initial", money(rnd))
+		if rnd.Intn(2) == 0 {
+			oa.AppendText("reserve", money(rnd))
+		}
+		for b := 0; b < rnd.Intn(4); b++ {
+			bidder := oa.AppendNew("bidder")
+			bidder.AppendText("date", randDate(rnd))
+			bidder.AppendText("time", fmt.Sprintf("%02d:%02d:%02d", rnd.Intn(24), rnd.Intn(60), rnd.Intn(60)))
+			pr := bidder.AppendNew("personref")
+			pr.SetAttr("person", fmt.Sprintf("person%d", rnd.Intn(nPeople)))
+			bidder.AppendText("increase", money(rnd))
+		}
+		oa.AppendText("current", money(rnd))
+		ir := oa.AppendNew("itemref")
+		ir.SetAttr("item", fmt.Sprintf("item%d", rnd.Intn(nItems)))
+		sl := oa.AppendNew("seller")
+		sl.SetAttr("person", fmt.Sprintf("person%d", rnd.Intn(nPeople)))
+		annotation(rnd, oa)
+		oa.AppendText("quantity", fmt.Sprint(1+rnd.Intn(5)))
+		oa.AppendText("type", pick(rnd, "Regular", "Featured", "Dutch"))
+		iv := oa.AppendNew("interval")
+		iv.AppendText("start", randDate(rnd))
+		iv.AppendText("end", randDate(rnd))
+	}
+
+	// closed auctions
+	closed := root.AppendNew("closed_auctions")
+	for a := 0; a < nClosed; a++ {
+		ca := closed.AppendNew("closed_auction")
+		sl := ca.AppendNew("seller")
+		sl.SetAttr("person", fmt.Sprintf("person%d", rnd.Intn(nPeople)))
+		by := ca.AppendNew("buyer")
+		by.SetAttr("person", fmt.Sprintf("person%d", rnd.Intn(nPeople)))
+		ir := ca.AppendNew("itemref")
+		ir.SetAttr("item", fmt.Sprintf("item%d", rnd.Intn(nItems)))
+		ca.AppendText("price", money(rnd))
+		ca.AppendText("date", randDate(rnd))
+		ca.AppendText("quantity", fmt.Sprint(1+rnd.Intn(3)))
+		ca.AppendText("type", pick(rnd, "Regular", "Featured"))
+		annotation(rnd, ca)
+	}
+	return root
+}
+
+// maxAuctionDepth bounds the recursive description/parlist/listitem
+// structure: the deepest chain is site/regions/<region>/item/description/
+// parlist/listitem/parlist/listitem/parlist/listitem/text, 12 levels
+// (Fig. 12's Auction depth).
+const maxAuctionDepth = 12
+
+// description emits the recursive description structure. depth is the
+// depth of the description node itself; deep forces a full-depth chain
+// (so every generated document reaches depth 12 deterministically).
+func description(rnd *rand.Rand, parent *xmltree.Node, depth int, deep bool) {
+	d := parent.AppendNew("description")
+	if deep || (depth+3 <= maxAuctionDepth && rnd.Intn(2) == 0) {
+		parlist(rnd, d, depth+1, deep)
+	} else {
+		text(rnd, d, depth+1)
+	}
+}
+
+func parlist(rnd *rand.Rand, parent *xmltree.Node, depth int, deep bool) {
+	pl := parent.AppendNew("parlist")
+	n := 1 + rnd.Intn(2)
+	for i := 0; i < n; i++ {
+		li := pl.AppendNew("listitem")
+		canRecurse := depth+4 <= maxAuctionDepth // nested parlist+listitem+text
+		if canRecurse && ((deep && i == 0) || rnd.Intn(3) == 0) {
+			parlist(rnd, li, depth+2, deep && i == 0)
+		} else {
+			text(rnd, li, depth+2)
+		}
+	}
+}
+
+func text(rnd *rand.Rand, parent *xmltree.Node, depth int) {
+	t := parent.AppendNew("text")
+	t.Text = randWordsFrom(rnd, itemWords, 14)
+	if depth+1 > maxAuctionDepth {
+		return
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		t.AppendText("bold", randWordsFrom(rnd, itemWords, 2))
+	case 1:
+		t.AppendText("keyword", randWordsFrom(rnd, itemWords, 1))
+	case 2:
+		t.AppendText("emph", randWordsFrom(rnd, itemWords, 2))
+	}
+}
+
+func annotation(rnd *rand.Rand, parent *xmltree.Node) {
+	an := parent.AppendNew("annotation")
+	an.AppendText("author", randName(rnd))
+	description(rnd, an, 5, false)
+	an.AppendText("happiness", fmt.Sprint(1+rnd.Intn(10)))
+}
+
+func pick(rnd *rand.Rand, opts ...string) string { return opts[rnd.Intn(len(opts))] }
+
+func randName(rnd *rand.Rand) string {
+	return firstNames[rnd.Intn(len(firstNames))] + " " + lastNames[rnd.Intn(len(lastNames))]
+}
+
+func randDate(rnd *rand.Rand) string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+rnd.Intn(12), 1+rnd.Intn(28), 1998+rnd.Intn(4))
+}
+
+func money(rnd *rand.Rand) string {
+	return fmt.Sprintf("%d.%02d", 1+rnd.Intn(300), rnd.Intn(100))
+}
+
+func randWordsFrom(rnd *rand.Rand, pool []string, n int) string {
+	out := make([]byte, 0, 12*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, pool[rnd.Intn(len(pool))]...)
+	}
+	return string(out)
+}

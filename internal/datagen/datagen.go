@@ -1,0 +1,182 @@
+// Package datagen generates the three synthetic data sets the evaluation
+// runs on (paper §5.1.1, Fig. 12). The originals (Bosak's Shakespeare,
+// the Georgetown PIR protein database, XMark's Auction benchmark) are not
+// redistributable, so the generators reproduce their *shapes*: element
+// hierarchy, distinct tag count, depth, node count and the specific
+// values the paper's queries select on. Every measured effect in §5 is a
+// function of document shape and query structure, so the substitution
+// preserves the experiments (see DESIGN.md).
+//
+//	            size    nodes   tags  depth   (paper Fig. 12)
+//	Shakespeare 1.3MB   31975    19     7
+//	Protein     3.5MB  113831    66     7
+//	Auction     3.4MB   61890    77    12
+//
+// Generators are deterministic for a given Options value. Factor scales
+// the number of top-level entities linearly, standing in for the paper's
+// "replicate the data set N times" scaling (§5.3.4).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Options controls generation.
+type Options struct {
+	Seed   int64 // random seed; generators are deterministic per seed
+	Factor int   // entity multiplier; 0 or 1 reproduces Fig. 12 scale
+}
+
+func (o Options) factor() int {
+	if o.Factor < 1 {
+		return 1
+	}
+	return o.Factor
+}
+
+// Dataset names understood by ByName.
+const (
+	NameShakespeare = "shakespeare"
+	NameProtein     = "protein"
+	NameAuction     = "auction"
+)
+
+// ByName generates a data set by name.
+func ByName(name string, o Options) (*xmltree.Node, error) {
+	switch name {
+	case NameShakespeare:
+		return Shakespeare(o), nil
+	case NameProtein:
+		return Protein(o), nil
+	case NameAuction:
+		return Auction(o), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown data set %q (want shakespeare, protein or auction)", name)
+}
+
+// Names lists the data sets in the paper's order.
+func Names() []string { return []string{NameShakespeare, NameProtein, NameAuction} }
+
+// --- Shakespeare -----------------------------------------------------
+
+// SceneIIITitle is the scene title the paper's query QS3 selects on.
+const SceneIIITitle = "SCENE III. A public place."
+
+var playTitles = []string{
+	"The Tragedy of Antony and Cleopatra", "All's Well That Ends Well",
+	"As You Like It", "The Comedy of Errors", "The Tragedy of Coriolanus",
+	"Cymbeline", "The Tragedy of Hamlet", "The First Part of Henry the Fourth",
+	"The Life of Henry the Fifth", "The Tragedy of Julius Caesar",
+	"The Tragedy of King Lear", "The Tragedy of Macbeth",
+}
+
+var speakerNames = []string{
+	"BERNARDO", "FRANCISCO", "HORATIO", "MARCELLUS", "HAMLET", "CLAUDIUS",
+	"GERTRUDE", "POLONIUS", "OPHELIA", "LAERTES", "FIRST WITCH", "MACBETH",
+}
+
+var lineWords = []string{
+	"the", "and", "to", "of", "thou", "that", "with", "his", "what", "him",
+	"shall", "king", "lord", "good", "sir", "love", "night", "well", "come",
+	"let", "speak", "heart", "time", "death", "most", "men", "heaven",
+}
+
+// Shakespeare generates the plays corpus: graph-shaped DTD, 19 tags,
+// depth 7 (PLAYS/PLAY/ACT/SCENE/SPEECH/LINE/STAGEDIR).
+func Shakespeare(o Options) *xmltree.Node {
+	rnd := rand.New(rand.NewSource(o.Seed ^ 0x5ea5))
+	root := xmltree.New("PLAYS")
+	plays := 37 * o.factor()
+	for p := 0; p < plays; p++ {
+		play := root.AppendNew("PLAY")
+		play.AppendText("TITLE", playTitles[p%len(playTitles)])
+		fm := play.AppendNew("FM")
+		fm.AppendText("P", "Text placed in the public domain.")
+		play.AppendText("PLAYSUBT", playTitles[p%len(playTitles)])
+		play.AppendText("SCNDESCR", "SCENE Denmark.")
+		personae := play.AppendNew("PERSONAE")
+		personae.AppendText("TITLE", "Dramatis Personae")
+		for i := 0; i < 6; i++ {
+			personae.AppendText("PERSONA", speakerNames[(p+i)%len(speakerNames)])
+		}
+		pg := personae.AppendNew("PGROUP")
+		for i := 0; i < 2; i++ {
+			pg.AppendText("PERSONA", speakerNames[(p+6+i)%len(speakerNames)])
+		}
+		pg.AppendText("GRPDESCR", "courtiers")
+		acts := 5
+		for a := 0; a < acts; a++ {
+			act := play.AppendNew("ACT")
+			act.AppendText("TITLE", fmt.Sprintf("ACT %s", roman(a+1)))
+			if a == 0 && p%2 == 0 {
+				pro := act.AppendNew("PROLOGUE")
+				pro.AppendText("LINE", randLine(rnd))
+			}
+			scenes := 3 + rnd.Intn(2)
+			for s := 0; s < scenes; s++ {
+				scene := act.AppendNew("SCENE")
+				if a == 0 && s == 2 {
+					scene.AppendText("TITLE", SceneIIITitle)
+				} else {
+					scene.AppendText("TITLE", fmt.Sprintf("SCENE %s. A room in the castle.", roman(s+1)))
+				}
+				if rnd.Intn(3) == 0 {
+					scene.AppendText("STAGEDIR", "Enter attendants")
+				}
+				speeches := 6 + rnd.Intn(3)
+				for sp := 0; sp < speeches; sp++ {
+					speech := scene.AppendNew("SPEECH")
+					speech.AppendText("SPEAKER", speakerNames[rnd.Intn(len(speakerNames))])
+					lines := 3 + rnd.Intn(3)
+					for l := 0; l < lines; l++ {
+						line := speech.AppendNew("LINE")
+						line.Text = randLine(rnd)
+						if rnd.Intn(12) == 0 {
+							line.AppendText("STAGEDIR", "Aside")
+						}
+					}
+				}
+			}
+		}
+		epi := play.AppendNew("EPILOGUE")
+		epi.AppendText("TITLE", "EPILOGUE")
+		for l := 0; l < 4; l++ {
+			line := epi.AppendNew("LINE")
+			line.Text = randLine(rnd)
+			if l == 1 {
+				line.AppendText("STAGEDIR", "Exeunt")
+			}
+		}
+	}
+	return root
+}
+
+func randLine(rnd *rand.Rand) string {
+	n := 4 + rnd.Intn(5)
+	out := make([]byte, 0, 48)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, lineWords[rnd.Intn(len(lineWords))]...)
+	}
+	return string(out)
+}
+
+func roman(n int) string {
+	vals := []struct {
+		v int
+		s string
+	}{{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	out := ""
+	for _, e := range vals {
+		for n >= e.v {
+			out += e.s
+			n -= e.v
+		}
+	}
+	return out
+}

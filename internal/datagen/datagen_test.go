@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func stats(t *testing.T, root *xmltree.Node) xmltree.Stats {
+	t.Helper()
+	return xmltree.ComputeStats(root)
+}
+
+// TestFig12Shapes checks the generated data sets against the paper's
+// Fig. 12 characteristics: distinct tag counts and depths must match
+// exactly; node counts must be in the same ballpark.
+func TestFig12Shapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		wantTags  int
+		wantDepth int
+		minNodes  int
+		maxNodes  int
+	}{
+		{NameShakespeare, 19, 7, 20000, 50000},
+		{NameProtein, 66, 7, 80000, 150000},
+		{NameAuction, 77, 12, 40000, 90000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root, err := ByName(c.name, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := stats(t, root)
+			if st.Tags != c.wantTags {
+				t.Errorf("%s tags = %d, want %d", c.name, st.Tags, c.wantTags)
+			}
+			if st.Depth != c.wantDepth {
+				t.Errorf("%s depth = %d, want %d", c.name, st.Depth, c.wantDepth)
+			}
+			if st.Nodes < c.minNodes || st.Nodes > c.maxNodes {
+				t.Errorf("%s nodes = %d, want within [%d, %d]", c.name, st.Nodes, c.minNodes, c.maxNodes)
+			}
+		})
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Auction(Options{Seed: 7})
+	b := Auction(Options{Seed: 7})
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different documents")
+	}
+	c := Auction(Options{Seed: 8})
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestFactorScalesLinearly(t *testing.T) {
+	small := stats(t, Protein(Options{Seed: 1, Factor: 1}))
+	big := stats(t, Protein(Options{Seed: 1, Factor: 3}))
+	ratio := float64(big.Nodes) / float64(small.Nodes)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("factor 3 scaled nodes by %.2f", ratio)
+	}
+	// Depth and tag universe must not change with scale.
+	if big.Depth != small.Depth {
+		t.Fatalf("depth changed with factor: %d vs %d", big.Depth, small.Depth)
+	}
+}
+
+// TestPaperQueriesHaveResults: every query of Fig. 10 (and the paper's §1
+// example) must select something on its data set — otherwise the
+// benchmarks would measure empty work.
+func TestPaperQueriesHaveResults(t *testing.T) {
+	shak := Shakespeare(Options{Seed: 1})
+	prot := Protein(Options{Seed: 1})
+	auct := Auction(Options{Seed: 1})
+
+	cases := []struct {
+		doc   *xmltree.Node
+		query string
+	}{
+		{shak, "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE"},
+		{shak, "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR"},
+		{shak, `/PLAYS/PLAY/ACT/SCENE[TITLE="` + SceneIIITitle + `"]//LINE`},
+		{prot, "/ProteinDatabase/ProteinEntry/protein/name"},
+		{prot, `/ProteinDatabase/ProteinEntry//authors/author="` + AuthorDaniel + `"`},
+		{prot, "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name"},
+		{prot, `/ProteinDatabase/ProteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`},
+		{auct, "//category/description/parlist/listitem"},
+		{auct, "/site/regions//item/description"},
+		{auct, "/site/regions/asia/item[shipping]/description"},
+		{auct, "/site/people/person/name"},
+		{auct, "/site/open_auctions/open_auction/bidder/increase"},
+		{auct, "/site/closed_auctions/closed_auction[annotation]/price"},
+		{auct, "/site/closed_auctions/closed_auction/price"},
+		{auct, "/site/regions//item"},
+	}
+	for _, c := range cases {
+		q, err := xpath.Parse(c.query)
+		if err != nil {
+			t.Fatalf("parse %s: %v", c.query, err)
+		}
+		if got := xpath.Eval(c.doc, q); len(got) == 0 {
+			t.Errorf("query %s returns nothing", c.query)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("bogus", Options{}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, n := range Names() {
+		if _, err := ByName(n, Options{Seed: 1}); err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+	}
+}
+
+// TestAuctionRecursionDepth ensures the parlist/listitem recursion
+// reaches depth 12 but never exceeds it (the P-label scheme must hold).
+func TestAuctionRecursionDepth(t *testing.T) {
+	root := Auction(Options{Seed: 3})
+	st := stats(t, root)
+	if st.Depth != 12 {
+		t.Fatalf("depth = %d, want 12", st.Depth)
+	}
+}
+
+func TestShakespeareSceneIIIUnique(t *testing.T) {
+	root := Shakespeare(Options{Seed: 1})
+	q := xpath.MustParse(`//SCENE[TITLE="` + SceneIIITitle + `"]`)
+	got := xpath.Eval(root, q)
+	if len(got) == 0 {
+		t.Fatal("QS3's scene title missing")
+	}
+	// One per play.
+	plays := xpath.Eval(root, xpath.MustParse("/PLAYS/PLAY"))
+	if len(got) != len(plays) {
+		t.Fatalf("scene III count = %d, plays = %d", len(got), len(plays))
+	}
+}
+
+func TestSerializedSizeBallpark(t *testing.T) {
+	// The paper's sizes: 1.3MB, 3.5MB, 3.4MB. Stay within a factor ~2.
+	cases := []struct {
+		name     string
+		min, max int
+	}{
+		{NameShakespeare, 600_000, 3_000_000},
+		{NameProtein, 1_800_000, 7_000_000},
+		{NameAuction, 1_500_000, 7_000_000},
+	}
+	for _, c := range cases {
+		root, _ := ByName(c.name, Options{Seed: 1})
+		var b strings.Builder
+		if err := xmltree.WriteXML(&b, root); err != nil {
+			t.Fatal(err)
+		}
+		if n := b.Len(); n < c.min || n > c.max {
+			t.Errorf("%s serialized size = %d, want within [%d, %d]", c.name, n, c.min, c.max)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Values the paper's protein queries select on.
+const (
+	// AuthorDaniel is the author value of query QP2.
+	AuthorDaniel = "Daniel, M."
+	// AuthorEvans and YearEvans appear in the paper's running example Q.
+	AuthorEvans = "Evans, M.J."
+	YearEvans   = "2001"
+	// SuperfamilyCytochrome is the classification the running example
+	// filters on.
+	SuperfamilyCytochrome = "cytochrome c"
+)
+
+var authorPool = []string{
+	AuthorEvans, AuthorDaniel, "Smith, K.", "Jones, A.", "Brown, T.",
+	"Garcia, L.", "Chen, Y.", "Davidson, S.", "Zheng, Y.", "Tannen, V.",
+	"Kim, J.", "Mueller, R.", "Okafor, N.", "Rossi, P.",
+}
+
+var superfamilies = []string{
+	SuperfamilyCytochrome, "globin", "lysozyme", "ferredoxin", "insulin",
+	"histone H4", "protease inhibitor", "kinase",
+}
+
+var proteinNames = []string{
+	"cytochrome c [validated]", "hemoglobin alpha chain", "lysozyme C",
+	"ferredoxin I", "insulin precursor", "histone H4", "trypsin inhibitor",
+	"protein kinase A",
+}
+
+var titleWords = []string{
+	"the", "human", "somatic", "gene", "structure", "sequence", "analysis",
+	"of", "and", "protein", "evolution", "expression", "cloning", "rat",
+	"bovine", "amino", "acid", "complete",
+}
+
+// Protein generates the protein sequence database: tree-shaped DTD,
+// 66 distinct tags, depth 7. Each ProteinEntry carries the header,
+// protein classification, organism, references, genetics, features and
+// summary sections of the PIR format.
+func Protein(o Options) *xmltree.Node {
+	rnd := rand.New(rand.NewSource(o.Seed ^ 0x9407e14))
+	root := xmltree.New("ProteinDatabase")
+	entries := 1980 * o.factor()
+	for e := 0; e < entries; e++ {
+		entry := root.AppendNew("ProteinEntry")
+
+		entry.SetAttr("status", pick2(e%3 == 0, "validated", "provisional"))
+
+		header := entry.AppendNew("header")
+		header.SetAttr("version", fmt.Sprint(1+e%4))
+		header.AppendText("uid", fmt.Sprintf("A%05d", e))
+		header.AppendText("accession", fmt.Sprintf("PIR%06d", e*7%999983))
+		created := header.AppendNew("created_date")
+		created.Text = fmt.Sprintf("%02d-%s-%d", 1+e%28, month(e), 1980+e%22)
+		header.AppendText("seq-rev_date", fmt.Sprintf("%02d-%s-%d", 1+e%28, month(e+3), 1985+e%17))
+		header.AppendText("txt-rev_date", fmt.Sprintf("%02d-%s-%d", 1+e%28, month(e+5), 1990+e%12))
+
+		protein := entry.AppendNew("protein")
+		protein.AppendText("name", proteinNames[e%len(proteinNames)])
+		if e%4 == 0 {
+			protein.AppendText("alt-name", "alternative designation")
+		}
+		cls := protein.AppendNew("classification")
+		cls.AppendText("superfamily", superfamilies[e%len(superfamilies)])
+		if e%2 == 0 {
+			cls.AppendText("family", "soluble cytochrome family")
+		}
+		if e%3 == 0 {
+			cls.AppendText("homology-domain", "cytochrome c homology")
+		}
+		source := protein.AppendNew("source")
+		org := source.AppendNew("organism")
+		org.AppendText("formal", "Homo sapiens")
+		org.AppendText("common", "man")
+
+		nRefs := 1 + rnd.Intn(3)
+		for r := 0; r < nRefs; r++ {
+			ref := entry.AppendNew("reference")
+			ri := ref.AppendNew("refinfo")
+			ri.SetAttr("refid", fmt.Sprintf("R%d.%d", e, r))
+			authors := ri.AppendNew("authors")
+			nAuth := 1 + rnd.Intn(3)
+			for a := 0; a < nAuth; a++ {
+				authors.AppendText("author", authorPool[(e+r+a*3)%len(authorPool)])
+			}
+			if e%2 == 0 {
+				cit := ri.AppendNew("citation")
+				jr := cit.AppendNew("journal")
+				jr.Text = "J. Biol. Chem."
+				jr.AppendText("issue", fmt.Sprint(1+(e+r)%12))
+				cit.AppendText("volume", fmt.Sprint(200+e%80))
+				cit.AppendText("pages", fmt.Sprintf("%d-%d", 100+e%800, 110+e%800))
+				cit.AppendText("year-from-cit", fmt.Sprint(1995+(e+r)%10))
+			}
+			ri.AppendText("year", fmt.Sprint(1995+(e+r)%10))
+			ri.AppendText("title", randTitle(rnd))
+			if r == 0 {
+				ri.AppendText("xrefs", fmt.Sprintf("MUID:%08d", e*13%99999999))
+			}
+			accinfo := ref.AppendNew("accinfo")
+			accinfo.AppendText("mol-type", "protein")
+			if e%5 == 0 {
+				accinfo.AppendText("seq-spec", "1-104")
+			}
+		}
+
+		if e%2 == 1 {
+			gen := entry.AppendNew("genetics")
+			gene := gen.AppendNew("gene")
+			gene.Text = fmt.Sprintf("GEN%d", e%997)
+			gs := gene.AppendNew("gene-symbols")
+			gs.AppendText("symbol", fmt.Sprintf("G%d", e%97))
+			gen.AppendText("gene-map", fmt.Sprintf("%dq%d", 1+e%22, 1+e%3))
+			if e%6 == 1 {
+				gen.AppendText("introns", fmt.Sprintf("%d", 1+e%7))
+			}
+		}
+
+		if e%3 == 2 {
+			feats := entry.AppendNew("features")
+			ft := feats.AppendNew("feature")
+			ft.SetAttr("label", fmt.Sprintf("F%d", e%53))
+			ft.AppendText("feature-type", "binding site")
+			fd := ft.AppendNew("feature-descr")
+			fd.AppendText("descr-text", "heme (covalent)")
+			ft.AppendText("feature-spec", fmt.Sprintf("%d,%d", 14+e%3, 17+e%3))
+		}
+
+		if e%4 == 3 {
+			fn := entry.AppendNew("function")
+			fn.AppendText("funct-descr", "electron transport")
+			fn.AppendText("ec", fmt.Sprintf("1.%d.%d.%d", 1+e%9, 1+e%9, 1+e%99))
+		}
+		if e%3 == 0 {
+			xr := entry.AppendNew("crossreferences")
+			x := xr.AppendNew("xref")
+			x.AppendText("xdb", "EMBL")
+			x.AppendText("xuid", fmt.Sprintf("X%06d", e*11%999999))
+		}
+		if e%6 == 5 {
+			entry.AppendText("note", "synthetic stand-in entry")
+		}
+		if e%5 == 4 {
+			kw := entry.AppendNew("keywords")
+			kw.AppendText("keyword", "electron transfer")
+			kw.AppendText("keyword", "heme")
+		}
+
+		summary := entry.AppendNew("summary")
+		summary.AppendText("length", fmt.Sprint(80+e%400))
+		summary.AppendText("type", "complete")
+
+		seq := entry.AppendNew("sequence")
+		seq.Text = randSeq(rnd, 40)
+		if e%7 == 0 {
+			entry.AppendText("comment", "This entry is a synthetic stand-in.")
+		}
+	}
+	return root
+}
+
+func pick2(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func month(i int) string {
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	return months[i%12]
+}
+
+func randTitle(rnd *rand.Rand) string {
+	n := 5 + rnd.Intn(5)
+	out := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, titleWords[rnd.Intn(len(titleWords))]...)
+	}
+	return string(out)
+}
+
+func randSeq(rnd *rand.Rand, n int) string {
+	const acids = "ACDEFGHIKLMNPQRSTVWY"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = acids[rnd.Intn(len(acids))]
+	}
+	return string(out)
+}

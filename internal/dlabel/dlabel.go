@@ -1,0 +1,117 @@
+// Package dlabel implements D-labeling (paper §3.1).
+//
+// A D-label is a triplet <start, end, level>. Start and end are the
+// positions of a node's start and end tags in the document, counting each
+// start tag, end tag and text block as one unit; level is the length of
+// the path from the root (the root has level 1). The labels satisfy the
+// paper's Definition 3.1:
+//
+//	Descendant:  m is a descendant of n  iff  n.start < m.start && n.end > m.end
+//	Child:       m is a child of n       iff  descendant && n.level+1 == m.level
+//	Nonoverlap:  otherwise the intervals are disjoint
+//
+// The Assigner hands out labels during a streaming (SAX) document walk.
+package dlabel
+
+import "fmt"
+
+// Label is a D-label.
+type Label struct {
+	Start uint32
+	End   uint32
+	Level uint16
+}
+
+// IsAncestorOf reports whether m lies strictly inside n's interval.
+func (n Label) IsAncestorOf(m Label) bool {
+	return n.Start < m.Start && n.End > m.End
+}
+
+// IsParentOf reports whether m is a child of n.
+func (n Label) IsParentOf(m Label) bool {
+	return n.IsAncestorOf(m) && n.Level+1 == m.Level
+}
+
+// AncestorAtGap reports whether n is an ancestor of m exactly gap levels
+// up (gap 1 = parent, 2 = grandparent, ...). gap <= 0 means any distance.
+func (n Label) AncestorAtGap(m Label, gap int) bool {
+	if !n.IsAncestorOf(m) {
+		return false
+	}
+	return gap <= 0 || int(m.Level)-int(n.Level) == gap
+}
+
+// Overlaps reports whether the intervals of n and m intersect (which, for
+// labels produced from a well-formed document, means one contains the
+// other or they are the same node).
+func (n Label) Overlaps(m Label) bool {
+	return n.Start <= m.End && m.Start <= n.End
+}
+
+// String formats the label as <start,end,level>.
+func (n Label) String() string {
+	return fmt.Sprintf("<%d,%d,%d>", n.Start, n.End, n.Level)
+}
+
+// Assigner allocates D-labels during a depth-first document walk. Calls
+// must follow document structure: Enter/Leave for elements (properly
+// nested), Text for character data, Attr for attribute nodes (immediately
+// after their element's Enter).
+type Assigner struct {
+	pos   uint32
+	stack []*pending
+}
+
+type pending struct {
+	start uint32
+	level uint16
+}
+
+// NewAssigner returns an Assigner whose first position unit is 1.
+func NewAssigner() *Assigner { return &Assigner{pos: 1} }
+
+// Enter records an element's start tag and returns its start position and
+// level. The final label is completed by the matching Leave.
+func (a *Assigner) Enter() (start uint32, level uint16) {
+	start = a.pos
+	a.pos++
+	level = uint16(len(a.stack) + 1)
+	a.stack = append(a.stack, &pending{start: start, level: level})
+	return start, level
+}
+
+// Leave records the current element's end tag and returns its completed
+// label. It panics if no element is open (a malformed walk).
+func (a *Assigner) Leave() Label {
+	if len(a.stack) == 0 {
+		panic("dlabel: Leave without matching Enter")
+	}
+	p := a.stack[len(a.stack)-1]
+	a.stack = a.stack[:len(a.stack)-1]
+	end := a.pos
+	a.pos++
+	return Label{Start: p.start, End: end, Level: p.level}
+}
+
+// Text consumes one position unit for a character data block.
+func (a *Assigner) Text() { a.pos++ }
+
+// Attr allocates a complete label for an attribute node of the current
+// element. Attribute nodes occupy a single position unit (start == end) —
+// they are leaves nested inside their owner's interval, so all Definition
+// 3.1 predicates behave correctly. It panics if no element is open.
+func (a *Assigner) Attr() Label {
+	if len(a.stack) == 0 {
+		panic("dlabel: Attr without an open element")
+	}
+	owner := a.stack[len(a.stack)-1]
+	l := Label{Start: a.pos, End: a.pos, Level: owner.level + 1}
+	a.pos++
+	return l
+}
+
+// Depth returns the number of currently open elements.
+func (a *Assigner) Depth() int { return len(a.stack) }
+
+// Pos returns the next position unit to be assigned.
+func (a *Assigner) Pos() uint32 { return a.pos }

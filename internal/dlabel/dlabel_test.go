@@ -1,0 +1,192 @@
+package dlabel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPaperExample(t *testing.T) {
+	// Figure 1 commentary: "the first node tagged classification begins at
+	// position 7 and ends at position 11 ... Its level is 4" for
+	// ProteinDatabase/ProteinEntry/protein/{name,text}/classification/
+	// superfamily/text.
+	a := NewAssigner()
+	a.Enter() // 1: <ProteinDatabase>
+	a.Enter() // 2: <ProteinEntry>
+	a.Enter() // 3: <protein>
+	a.Enter() // 4: <name>
+	a.Text()  // 5: "cytochrome c [validated]"
+	a.Leave() // 6: </name>
+	start, level := a.Enter()
+	if start != 7 || level != 4 {
+		t.Fatalf("classification start=%d level=%d, want 7, 4", start, level)
+	}
+	a.Enter()        // 8: <superfamily>
+	a.Text()         // 9
+	a.Leave()        // 10
+	cls := a.Leave() // 11: </classification>
+	if cls.Start != 7 || cls.End != 11 || cls.Level != 4 {
+		t.Fatalf("classification label = %v, want <7,11,4>", cls)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	anc := Label{Start: 1, End: 100, Level: 1}
+	child := Label{Start: 2, End: 50, Level: 2}
+	grand := Label{Start: 3, End: 10, Level: 3}
+	sib := Label{Start: 51, End: 99, Level: 2}
+
+	if !anc.IsAncestorOf(child) || !anc.IsAncestorOf(grand) {
+		t.Fatal("ancestor test failed")
+	}
+	if !anc.IsParentOf(child) {
+		t.Fatal("parent test failed")
+	}
+	if anc.IsParentOf(grand) {
+		t.Fatal("grandchild misidentified as child")
+	}
+	if child.IsAncestorOf(sib) || sib.IsAncestorOf(child) {
+		t.Fatal("siblings misidentified as related")
+	}
+	if !anc.AncestorAtGap(grand, 2) {
+		t.Fatal("gap-2 test failed")
+	}
+	if anc.AncestorAtGap(grand, 1) {
+		t.Fatal("gap-1 should fail for grandchild")
+	}
+	if !anc.AncestorAtGap(grand, 0) {
+		t.Fatal("gap-0 means any distance")
+	}
+	if !anc.Overlaps(child) || child.Overlaps(sib) {
+		t.Fatal("overlap test failed")
+	}
+	if anc.IsAncestorOf(anc) {
+		t.Fatal("node must not be its own ancestor")
+	}
+}
+
+func TestAttrLabels(t *testing.T) {
+	a := NewAssigner()
+	a.Enter() // element at level 1
+	attr := a.Attr()
+	if attr.Start != attr.End {
+		t.Fatalf("attr label = %v, want single unit", attr)
+	}
+	if attr.Level != 2 {
+		t.Fatalf("attr level = %d, want 2", attr.Level)
+	}
+	el := a.Leave()
+	if !el.IsParentOf(attr) {
+		t.Fatalf("element %v should be parent of attr %v", el, attr)
+	}
+}
+
+func TestLeavePanicsWhenUnbalanced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAssigner().Leave()
+}
+
+func TestAttrPanicsOutsideElement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAssigner().Attr()
+}
+
+// refNode is a reference tree node for the randomized test.
+type refNode struct {
+	label    Label
+	parent   *refNode
+	children []*refNode
+}
+
+func (r *refNode) isAncestorOf(o *refNode) bool {
+	for p := o.parent; p != nil; p = p.parent {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+// buildRandomTree assigns labels while building a random tree, then checks
+// every pair of nodes against the reference ancestorship.
+func TestRandomTreeAncestorship(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	a := NewAssigner()
+	var all []*refNode
+
+	var build func(parent *refNode, depth int)
+	build = func(parent *refNode, depth int) {
+		a.Enter()
+		n := &refNode{parent: parent}
+		if parent != nil {
+			parent.children = append(parent.children, n)
+		}
+		all = append(all, n)
+		if depth < 6 {
+			kids := rnd.Intn(4)
+			for i := 0; i < kids; i++ {
+				if rnd.Intn(3) == 0 {
+					a.Text()
+				}
+				build(n, depth+1)
+			}
+		}
+		n.label = a.Leave()
+	}
+	build(nil, 0)
+
+	if a.Depth() != 0 {
+		t.Fatal("unbalanced walk")
+	}
+	for _, x := range all {
+		for _, y := range all {
+			if x == y {
+				continue
+			}
+			wantAnc := x.isAncestorOf(y)
+			if got := x.label.IsAncestorOf(y.label); got != wantAnc {
+				t.Fatalf("ancestor(%v, %v) = %v, want %v", x.label, y.label, got, wantAnc)
+			}
+			wantParent := y.parent == x
+			if got := x.label.IsParentOf(y.label); got != wantParent {
+				t.Fatalf("parent(%v, %v) = %v, want %v", x.label, y.label, got, wantParent)
+			}
+		}
+	}
+}
+
+func TestLevelsMatchDepth(t *testing.T) {
+	a := NewAssigner()
+	_, l1 := a.Enter()
+	_, l2 := a.Enter()
+	_, l3 := a.Enter()
+	if l1 != 1 || l2 != 2 || l3 != 3 {
+		t.Fatalf("levels = %d,%d,%d", l1, l2, l3)
+	}
+	a.Leave()
+	_, l3b := a.Enter()
+	if l3b != 3 {
+		t.Fatalf("sibling level = %d, want 3", l3b)
+	}
+}
+
+func TestValidationProperty(t *testing.T) {
+	// start <= end must hold for every label (Definition 3.1 Validation).
+	a := NewAssigner()
+	a.Enter()
+	lab := a.Leave()
+	if lab.Start > lab.End {
+		t.Fatalf("validation violated: %v", lab)
+	}
+	if lab.Start == lab.End {
+		t.Fatalf("element with no content should still span two units: %v", lab)
+	}
+}

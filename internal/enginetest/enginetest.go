@@ -1,0 +1,176 @@
+// Package enginetest provides shared test support for the BLAS query
+// engines: ground-truth evaluation (the naive evaluator's results mapped
+// to D-label start positions), store construction helpers, and random
+// document/query generators for differential testing.
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dlabel"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// LabelTree assigns D-labels to every node of a document tree in exactly
+// the order the core shredder does, so tree nodes can be matched to store
+// records by start position.
+func LabelTree(root *xmltree.Node) map[*xmltree.Node]dlabel.Label {
+	labels := map[*xmltree.Node]dlabel.Label{}
+	a := dlabel.NewAssigner()
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if n.IsAttr() {
+			labels[n] = a.Attr()
+			return
+		}
+		a.Enter()
+		if n.Text != "" {
+			a.Text()
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		labels[n] = a.Leave()
+	}
+	walk(root)
+	return labels
+}
+
+// EvalStarts evaluates a query with the reference evaluator and returns
+// the start positions of the result nodes in ascending order.
+func EvalStarts(root *xmltree.Node, query string) ([]uint32, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	labels := LabelTree(root)
+	nodes := xpath.Eval(root, q)
+	out := make([]uint32, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, labels[n].Start)
+	}
+	// The reference evaluator returns document order, which is start
+	// order.
+	return out, nil
+}
+
+// MustBuild shreds a document string into an in-memory store.
+func MustBuild(doc string) (*core.Store, *xmltree.Node, error) {
+	tree, err := xmltree.ParseString(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := core.BuildFromTree(tree, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, tree, nil
+}
+
+// DocParams controls random document generation.
+type DocParams struct {
+	Tags     []string // tag alphabet
+	MaxDepth int
+	MaxKids  int
+	Values   []string // text value alphabet ("" allowed)
+	AttrProb float64  // probability of an @id attribute per element
+}
+
+// DefaultDocParams returns parameters producing small, branchy documents
+// with repeated tags (so // and branch semantics are exercised).
+func DefaultDocParams() DocParams {
+	return DocParams{
+		Tags:     []string{"a", "b", "c", "d"},
+		MaxDepth: 6,
+		MaxKids:  4,
+		Values:   []string{"", "", "v1", "v2"},
+		AttrProb: 0.2,
+	}
+}
+
+// RandomDoc generates a random document tree.
+func RandomDoc(rnd *rand.Rand, p DocParams) *xmltree.Node {
+	root := xmltree.New(p.Tags[0])
+	var grow func(n *xmltree.Node, depth int)
+	grow = func(n *xmltree.Node, depth int) {
+		if rnd.Float64() < p.AttrProb {
+			n.SetAttr("id", fmt.Sprintf("id%d", rnd.Intn(3)))
+		}
+		if v := p.Values[rnd.Intn(len(p.Values))]; v != "" {
+			n.Text = v
+		}
+		if depth >= p.MaxDepth {
+			return
+		}
+		kids := rnd.Intn(p.MaxKids + 1)
+		for i := 0; i < kids; i++ {
+			c := n.AppendNew(p.Tags[rnd.Intn(len(p.Tags))])
+			grow(c, depth+1)
+		}
+	}
+	grow(root, 1)
+	return root
+}
+
+// RandomQuery generates a random query over the tag alphabet, exercising
+// /, //, branches, value predicates and the occasional wildcard.
+func RandomQuery(rnd *rand.Rand, p DocParams) string {
+	var b strings.Builder
+	steps := 1 + rnd.Intn(4)
+	for i := 0; i < steps; i++ {
+		if rnd.Intn(3) == 0 {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		switch {
+		case rnd.Intn(10) == 0:
+			b.WriteString("*")
+		default:
+			b.WriteString(p.Tags[rnd.Intn(len(p.Tags))])
+		}
+		// Branch predicate.
+		if rnd.Intn(4) == 0 {
+			b.WriteString("[")
+			if rnd.Intn(3) == 0 {
+				b.WriteString("//")
+			}
+			b.WriteString(p.Tags[rnd.Intn(len(p.Tags))])
+			if rnd.Intn(3) == 0 {
+				fmt.Fprintf(&b, `="%s"`, p.Values[2+rnd.Intn(len(p.Values)-2)])
+			}
+			b.WriteString("]")
+		}
+		// Value predicate on the last step.
+		if i == steps-1 && rnd.Intn(5) == 0 {
+			fmt.Fprintf(&b, `="%s"`, p.Values[2+rnd.Intn(len(p.Values)-2)])
+		}
+	}
+	return b.String()
+}
+
+// StartsEqual compares two ascending start lists.
+func StartsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatStarts renders a start list for failure messages.
+func FormatStarts(s []uint32) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,206 @@
+package keyenc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uint128"
+)
+
+func TestRoundTripAllFieldTypes(t *testing.T) {
+	u := uint128.Uint128{Hi: 0xfeed, Lo: 0xbeef}
+	key := New(nil).
+		PutUint32(7).
+		PutUint64(1 << 40).
+		PutUint128(u).
+		PutString("hello\x00world").
+		PutString("").
+		Bytes()
+
+	d := NewDecoder(key)
+	if v, err := d.Uint32(); err != nil || v != 7 {
+		t.Fatalf("Uint32 = %v, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<40 {
+		t.Fatalf("Uint64 = %v, %v", v, err)
+	}
+	if v, err := d.Uint128(); err != nil || v != u {
+		t.Fatalf("Uint128 = %v, %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "hello\x00world" {
+		t.Fatalf("String = %q, %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "" {
+		t.Fatalf("empty String = %q, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); err == nil {
+		t.Fatal("expected short-key error for Uint32")
+	}
+	d = NewDecoder([]byte{1})
+	if _, err := d.Uint64(); err == nil {
+		t.Fatal("expected short-key error for Uint64")
+	}
+	d = NewDecoder([]byte{1})
+	if _, err := d.Uint128(); err == nil {
+		t.Fatal("expected short-key error for Uint128")
+	}
+	d = NewDecoder([]byte{'a', 'b'})
+	if _, err := d.String(); err == nil {
+		t.Fatal("expected unterminated string error")
+	}
+	d = NewDecoder([]byte{0x00})
+	if _, err := d.String(); err == nil {
+		t.Fatal("expected truncated escape error")
+	}
+	d = NewDecoder([]byte{0x00, 0x33})
+	if _, err := d.String(); err == nil {
+		t.Fatal("expected invalid escape error")
+	}
+}
+
+func TestUint32Order(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ka, kb := Uint32(a), Uint32(b)
+		got := Compare(ka, kb)
+		switch {
+		case a < b:
+			return got < 0
+		case a > b:
+			return got > 0
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64Order(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got := Compare(Uint64(a), Uint64(b))
+		switch {
+		case a < b:
+			return got < 0
+		case a > b:
+			return got > 0
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		got := Compare(String(a), String(b))
+		want := strings.Compare(a, b)
+		return (got < 0) == (want < 0) && (got > 0) == (want > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Composite (string, uint32) tuples must sort like the tuple order:
+// first by string, then by number. This is the property that lets the data
+// index break ties by start position.
+func TestCompositeTupleOrder(t *testing.T) {
+	type tup struct {
+		S string
+		N uint32
+	}
+	f := func(a, b tup) bool {
+		ka := New(nil).PutString(a.S).PutUint32(a.N).Bytes()
+		kb := New(nil).PutString(b.S).PutUint32(b.N).Bytes()
+		got := Compare(ka, kb)
+		want := strings.Compare(a.S, b.S)
+		if want == 0 {
+			switch {
+			case a.N < b.N:
+				want = -1
+			case a.N > b.N:
+				want = 1
+			}
+		}
+		return (got < 0) == (want < 0) && (got > 0) == (want > 0) && (got == 0) == (want == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTripQuick(t *testing.T) {
+	f := func(s string) bool {
+		key := String(s)
+		got, err := NewDecoder(key).String()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in, want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+		{[]byte{0x00}, []byte{0x01}},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSuccessorBoundsPrefixRange(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		n := r.Intn(6) + 1
+		p := make([]byte, n)
+		r.Read(p)
+		succ := PrefixSuccessor(p)
+		// Any key with prefix p compares < succ; p itself >= p.
+		ext := append(append([]byte(nil), p...), byte(r.Intn(256)))
+		if succ != nil {
+			if Compare(ext, succ) >= 0 {
+				t.Fatalf("extension %x not below successor %x", ext, succ)
+			}
+			if Compare(p, succ) >= 0 {
+				t.Fatalf("prefix %x not below successor %x", p, succ)
+			}
+		}
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := New(nil)
+	e.PutUint32(9)
+	e.Reset()
+	e.PutUint32(3)
+	if !bytes.Equal(e.Bytes(), Uint32(3)) {
+		t.Fatal("reset did not clear buffer")
+	}
+}
+
+func TestUint128Shorthand(t *testing.T) {
+	v := uint128.Uint128{Hi: 5, Lo: 6}
+	if !bytes.Equal(Uint128(v), New(nil).PutUint128(v).Bytes()) {
+		t.Fatal("Uint128 shorthand mismatch")
+	}
+}

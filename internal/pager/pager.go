@@ -1,0 +1,377 @@
+// Package pager provides a paged file abstraction with an LRU buffer pool.
+//
+// BLAS stores its relations and indexes in fixed-size pages. All reads go
+// through the buffer pool, whose miss counter is the concrete realization
+// of the paper's "disk access" metric: a page that is not resident costs
+// one disk access, a resident page costs none. The experiments in §5
+// compare approaches by the number of such accesses, so the pool keeps
+// per-file statistics that the benchmark harness reports.
+//
+// The pager supports both on-disk files (via os.File) and in-memory files
+// (for tests and ephemeral stores).
+package pager
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within a file.
+type PageID uint32
+
+// Stats counts buffer pool traffic.
+type Stats struct {
+	Reads      uint64 // page requests
+	Misses     uint64 // requests that had to fetch from the backing file
+	Writes     uint64 // page writes to the backing file
+	Allocs     uint64 // pages allocated
+	Evictions  uint64 // pages evicted from the pool
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+// Hits returns the number of requests served from the pool.
+func (s Stats) Hits() uint64 { return s.Reads - s.Misses }
+
+// backing abstracts the storage under a paged file.
+type backing interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Close() error
+	Sync() error
+}
+
+// memBacking is an in-memory backing store.
+type memBacking struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (m *memBacking) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (m *memBacking) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if need := off + int64(len(p)); need > int64(len(m.buf)) {
+		grown := make([]byte, need)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:], p)
+	return len(p), nil
+}
+
+func (m *memBacking) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+	}
+	return nil
+}
+
+func (m *memBacking) Close() error { return nil }
+func (m *memBacking) Sync() error  { return nil }
+
+// File is a paged file fronted by a buffer pool.
+type File struct {
+	mu      sync.Mutex
+	back    backing
+	npages  uint32
+	pool    map[PageID]*frame
+	lruHead *frame // most recently used
+	lruTail *frame // least recently used
+	cap     int
+	stats   Stats
+}
+
+type frame struct {
+	id         PageID
+	data       []byte
+	dirty      bool
+	prev, next *frame
+}
+
+// DefaultPoolPages is the default buffer pool capacity in pages (4 MiB).
+const DefaultPoolPages = 512
+
+// Open opens (or creates) a paged file at path with the given buffer pool
+// capacity in pages. poolPages <= 0 selects DefaultPoolPages.
+func Open(path string, poolPages int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s: size %d is not a multiple of the page size", path, info.Size())
+	}
+	return newFile(f, uint32(info.Size()/PageSize), poolPages), nil
+}
+
+// OpenMem returns a paged file backed by memory, for tests and ephemeral
+// stores. Pool misses still count, so access statistics remain meaningful.
+func OpenMem(poolPages int) *File {
+	return newFile(&memBacking{}, 0, poolPages)
+}
+
+func newFile(b backing, npages uint32, poolPages int) *File {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &File{
+		back:   b,
+		npages: npages,
+		pool:   make(map[PageID]*frame, poolPages),
+		cap:    poolPages,
+	}
+}
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.npages
+}
+
+// Stats returns a snapshot of the access statistics.
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ResetStats zeroes the access statistics (the buffer pool contents are
+// kept; use DropCache to empty the pool as well).
+func (f *File) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = Stats{}
+}
+
+// DropCache flushes and evicts every pooled page, simulating a cold cache.
+// The paper's experiments run on a cold cache (§5.1).
+func (f *File) DropCache() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, fr := range f.pool {
+		if fr.dirty {
+			if err := f.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+		f.lruUnlink(fr)
+		delete(f.pool, id)
+	}
+	return nil
+}
+
+// Alloc allocates a fresh zeroed page and returns its id.
+func (f *File) Alloc() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := PageID(f.npages)
+	f.npages++
+	f.stats.Allocs++
+	fr, err := f.frameFor(id, false)
+	if err != nil {
+		return 0, err
+	}
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	fr.dirty = true
+	return id, nil
+}
+
+// Read copies page id into a caller-owned buffer of PageSize bytes.
+func (f *File) Read(id PageID, dst []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fr, err := f.pageIn(id)
+	if err != nil {
+		return err
+	}
+	copy(dst, fr.data)
+	return nil
+}
+
+// View calls fn with the contents of page id. The slice is only valid for
+// the duration of the call and must not be modified.
+func (f *File) View(id PageID, fn func(page []byte) error) error {
+	f.mu.Lock()
+	fr, err := f.pageIn(id)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	// Hold the lock during fn: frames may be evicted concurrently otherwise.
+	defer f.mu.Unlock()
+	return fn(fr.data)
+}
+
+// Update calls fn with the mutable contents of page id and marks it dirty.
+func (f *File) Update(id PageID, fn func(page []byte) error) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fr, err := f.pageIn(id)
+	if err != nil {
+		return err
+	}
+	fr.dirty = true
+	return fn(fr.data)
+}
+
+// pageIn returns the frame for id, fetching it on a miss.
+// Caller holds f.mu.
+func (f *File) pageIn(id PageID) (*frame, error) {
+	if id >= PageID(f.npages) {
+		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, f.npages)
+	}
+	f.stats.Reads++
+	if fr, ok := f.pool[id]; ok {
+		f.lruTouch(fr)
+		return fr, nil
+	}
+	f.stats.Misses++
+	fr, err := f.frameFor(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// frameFor finds a frame for id, evicting if necessary, optionally loading
+// the page contents from the backing store. Caller holds f.mu.
+func (f *File) frameFor(id PageID, load bool) (*frame, error) {
+	if fr, ok := f.pool[id]; ok {
+		f.lruTouch(fr)
+		return fr, nil
+	}
+	var fr *frame
+	if len(f.pool) >= f.cap {
+		// Evict the least recently used frame.
+		victim := f.lruTail
+		if victim == nil {
+			return nil, fmt.Errorf("pager: buffer pool corrupted: no LRU tail with %d frames", len(f.pool))
+		}
+		if victim.dirty {
+			if err := f.writeFrame(victim); err != nil {
+				return nil, err
+			}
+		}
+		f.lruUnlink(victim)
+		delete(f.pool, victim.id)
+		f.stats.Evictions++
+		fr = victim
+		fr.dirty = false
+	} else {
+		fr = &frame{data: make([]byte, PageSize)}
+	}
+	fr.id = id
+	if load {
+		n, err := f.back.ReadAt(fr.data, int64(id)*PageSize)
+		if err != nil && !(err == io.EOF && n == 0) && err != io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		}
+		// Pages past the materialized end of file read as zeroes.
+		for i := n; i < PageSize; i++ {
+			fr.data[i] = 0
+		}
+		f.stats.BytesRead += uint64(PageSize)
+	}
+	f.pool[id] = fr
+	f.lruPush(fr)
+	return fr, nil
+}
+
+func (f *File) writeFrame(fr *frame) error {
+	if _, err := f.back.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
+	}
+	fr.dirty = false
+	f.stats.Writes++
+	f.stats.BytesWrite += uint64(PageSize)
+	return nil
+}
+
+// Flush writes all dirty pages to the backing store and syncs it.
+func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fr := range f.pool {
+		if fr.dirty {
+			if err := f.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return f.back.Sync()
+}
+
+// Close flushes and closes the file.
+func (f *File) Close() error {
+	if err := f.Flush(); err != nil {
+		f.back.Close()
+		return err
+	}
+	return f.back.Close()
+}
+
+// --- LRU list maintenance (caller holds f.mu) ---
+
+func (f *File) lruPush(fr *frame) {
+	fr.prev = nil
+	fr.next = f.lruHead
+	if f.lruHead != nil {
+		f.lruHead.prev = fr
+	}
+	f.lruHead = fr
+	if f.lruTail == nil {
+		f.lruTail = fr
+	}
+}
+
+func (f *File) lruUnlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else if f.lruHead == fr {
+		f.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else if f.lruTail == fr {
+		f.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+func (f *File) lruTouch(fr *frame) {
+	if f.lruHead == fr {
+		return
+	}
+	f.lruUnlink(fr)
+	f.lruPush(fr)
+}

@@ -1,0 +1,234 @@
+package pager
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllocReadWriteMem(t *testing.T) {
+	f := OpenMem(4)
+	defer f.Close()
+
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first page id = %d", id)
+	}
+	if err := f.Update(id, func(p []byte) error {
+		copy(p, "hello page")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := f.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte("hello page")) {
+		t.Fatalf("read back %q", buf[:16])
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	f := OpenMem(4)
+	defer f.Close()
+	if err := f.Read(0, make([]byte, PageSize)); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestEvictionAndCounters(t *testing.T) {
+	f := OpenMem(2) // tiny pool to force eviction
+	defer f.Close()
+
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Update(id, func(p []byte) error {
+			p[0] = byte(i + 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// All four pages must read back correctly despite evictions.
+	for i, id := range ids {
+		buf := make([]byte, PageSize)
+		if err := f.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d byte = %d, want %d", id, buf[0], i+1)
+		}
+	}
+	st := f.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions with pool of 2 and 4 pages")
+	}
+	if st.Misses == 0 {
+		t.Fatal("expected misses after eviction")
+	}
+	if st.Reads < st.Misses {
+		t.Fatalf("reads %d < misses %d", st.Reads, st.Misses)
+	}
+}
+
+func TestHitsNoMissWhenResident(t *testing.T) {
+	f := OpenMem(8)
+	defer f.Close()
+	id, _ := f.Alloc()
+	_ = f.Update(id, func(p []byte) error { p[0] = 9; return nil })
+	f.ResetStats()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 5; i++ {
+		if err := f.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("misses = %d, want 0 (page resident)", st.Misses)
+	}
+	if st.Hits() != 5 {
+		t.Fatalf("hits = %d, want 5", st.Hits())
+	}
+}
+
+func TestDropCacheForcesColdReads(t *testing.T) {
+	f := OpenMem(8)
+	defer f.Close()
+	id, _ := f.Alloc()
+	_ = f.Update(id, func(p []byte) error { p[0] = 7; return nil })
+	if err := f.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	buf := make([]byte, PageSize)
+	if err := f.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("data lost across DropCache")
+	}
+	if f.Stats().Misses != 1 {
+		t.Fatalf("misses = %d, want 1 after cold cache", f.Stats().Misses)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.pg")
+	f, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Update(id, func(p []byte) error {
+			p[100] = byte(i * 3)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 10 {
+		t.Fatalf("NumPages = %d, want 10", f2.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if err := f2.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[100] != byte(i*3) {
+			t.Fatalf("page %d: byte = %d, want %d", id, buf[100], i*3)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pg")
+	f, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Append garbage to desync the size.
+	if err := appendByte(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 4); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestRandomizedPagesAgainstShadow(t *testing.T) {
+	f := OpenMem(3)
+	defer f.Close()
+	r := rand.New(rand.NewSource(5))
+	shadow := map[PageID][]byte{}
+	var ids []PageID
+	for step := 0; step < 2000; step++ {
+		switch {
+		case len(ids) == 0 || r.Intn(10) == 0:
+			id, err := f.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			shadow[id] = make([]byte, PageSize)
+		case r.Intn(2) == 0: // write
+			id := ids[r.Intn(len(ids))]
+			off := r.Intn(PageSize)
+			b := byte(r.Intn(256))
+			if err := f.Update(id, func(p []byte) error {
+				p[off] = b
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			shadow[id][off] = b
+		default: // read & verify
+			id := ids[r.Intn(len(ids))]
+			if err := f.View(id, func(p []byte) error {
+				if !bytes.Equal(p, shadow[id]) {
+					t.Fatalf("step %d: page %d diverged from shadow", step, id)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func appendByte(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte{0xAB})
+	return err
+}

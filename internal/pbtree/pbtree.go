@@ -1,0 +1,437 @@
+// Package pbtree implements a paged, bulk-loaded, immutable B+ tree.
+//
+// The BLAS index generator builds its indexes once, at shred time, from
+// key-sorted input (the relations are clustered, so index entries arrive
+// in order); queries then only read. A write-once/read-many B+ tree
+// matches that lifecycle exactly: the builder packs leaves left to right
+// and constructs each internal level bottom-up, producing a tree that is
+// 100% full and never needs rebalancing.
+//
+// Pages live in an internal/pager file, so every page touched by a lookup
+// or range scan is visible in the buffer-pool statistics — the paper's
+// "disk access" metric covers index traversal too.
+//
+// Page layout (all integers little-endian):
+//
+//	byte 0       page type (1 = leaf, 2 = inner)
+//	bytes 1-2    entry count
+//	bytes 3-6    next-leaf page id (leaves only; 0xFFFFFFFF = none)
+//	bytes 7..    slot offset table (2 bytes per entry), then entries
+//
+//	leaf entry:  klen u16, key, vlen u16, value
+//	inner entry: klen u16, key, child page id u32
+//
+// In an inner page, entry i's key is the smallest key stored in the
+// subtree of child i.
+package pbtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+const (
+	pageTypeLeaf  = 1
+	pageTypeInner = 2
+	headerSize    = 7
+	noPage        = 0xFFFFFFFF
+)
+
+// Tree describes a finished tree. Callers persist this in their own
+// metadata and pass it back to Open.
+type Tree struct {
+	Root   pager.PageID
+	Height uint32 // 1 = root is a leaf
+	Count  uint64 // number of entries
+}
+
+// Builder bulk-loads a tree from strictly increasing keys.
+type Builder struct {
+	f       *pager.File
+	levels  []*pageBuf // levels[0] = leaf level
+	lastKey []byte
+	count   uint64
+	err     error
+}
+
+// pageBuf accumulates entries for one page under construction.
+type pageBuf struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf values
+	children []pager.PageID
+	used     int          // bytes used by slots+entries so far
+	prevLeaf pager.PageID // page id of the previous flushed leaf, noPage if none
+	// firstKeys/pageIDs of flushed pages feed the level above.
+}
+
+// NewBuilder returns a Builder writing pages into f.
+func NewBuilder(f *pager.File) *Builder {
+	return &Builder{f: f, levels: []*pageBuf{{leaf: true, prevLeaf: noPage}}}
+}
+
+func leafEntrySize(k, v []byte) int  { return 2 + 2 + len(k) + 2 + len(v) } // slot + klen+key + vlen+val
+func innerEntrySize(k []byte) int    { return 2 + 2 + len(k) + 4 }          // slot + klen+key + child
+func (b *pageBuf) capacityLeft() int { return pager.PageSize - headerSize - b.used }
+
+// Add appends an entry. Keys must be strictly increasing.
+func (b *Builder) Add(key, value []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.lastKey != nil && bytes.Compare(key, b.lastKey) <= 0 {
+		b.err = fmt.Errorf("pbtree: keys not strictly increasing: %x after %x", key, b.lastKey)
+		return b.err
+	}
+	if leafEntrySize(key, value) > pager.PageSize-headerSize {
+		b.err = fmt.Errorf("pbtree: entry too large: %d bytes", leafEntrySize(key, value))
+		return b.err
+	}
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.count++
+
+	lv := b.levels[0]
+	if leafEntrySize(key, value) > lv.capacityLeft() {
+		if err := b.flushLevel(0); err != nil {
+			return err
+		}
+	}
+	lv.keys = append(lv.keys, append([]byte(nil), key...))
+	lv.vals = append(lv.vals, append([]byte(nil), value...))
+	lv.used += leafEntrySize(key, value)
+	return nil
+}
+
+// flushLevel writes out the page buffered at level i and pushes its first
+// key into level i+1.
+func (b *Builder) flushLevel(i int) error {
+	lv := b.levels[i]
+	if len(lv.keys) == 0 {
+		return nil
+	}
+	id, err := b.writePage(lv)
+	if err != nil {
+		return err
+	}
+	firstKey := lv.keys[0]
+
+	// Reset the buffer for the next page at this level.
+	if lv.leaf {
+		lv.prevLeaf = id
+	}
+	lv.keys = nil
+	lv.vals = nil
+	lv.children = nil
+	lv.used = 0
+
+	// Parent entry.
+	if i+1 == len(b.levels) {
+		b.levels = append(b.levels, &pageBuf{prevLeaf: noPage})
+	}
+	parent := b.levels[i+1]
+	if innerEntrySize(firstKey) > parent.capacityLeft() {
+		if err := b.flushLevel(i + 1); err != nil {
+			return err
+		}
+	}
+	parent.keys = append(parent.keys, firstKey)
+	parent.children = append(parent.children, id)
+	parent.used += innerEntrySize(firstKey)
+	return nil
+}
+
+// writePage serializes lv into a freshly allocated page; for leaves it
+// also patches the previous leaf's next pointer.
+func (b *Builder) writePage(lv *pageBuf) (pager.PageID, error) {
+	id, err := b.f.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	err = b.f.Update(id, func(p []byte) error {
+		if lv.leaf {
+			p[0] = pageTypeLeaf
+		} else {
+			p[0] = pageTypeInner
+		}
+		n := len(lv.keys)
+		binary.LittleEndian.PutUint16(p[1:3], uint16(n))
+		binary.LittleEndian.PutUint32(p[3:7], noPage)
+		off := headerSize + 2*n
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint16(p[headerSize+2*i:], uint16(off))
+			k := lv.keys[i]
+			binary.LittleEndian.PutUint16(p[off:], uint16(len(k)))
+			off += 2
+			copy(p[off:], k)
+			off += len(k)
+			if lv.leaf {
+				v := lv.vals[i]
+				binary.LittleEndian.PutUint16(p[off:], uint16(len(v)))
+				off += 2
+				copy(p[off:], v)
+				off += len(v)
+			} else {
+				binary.LittleEndian.PutUint32(p[off:], uint32(lv.children[i]))
+				off += 4
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if lv.leaf && lv.prevLeaf != noPage {
+		if err := b.f.Update(lv.prevLeaf, func(p []byte) error {
+			binary.LittleEndian.PutUint32(p[3:7], uint32(id))
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Finish flushes all buffered pages and returns the tree descriptor.
+func (b *Builder) Finish() (Tree, error) {
+	if b.err != nil {
+		return Tree{}, b.err
+	}
+	// Empty tree: a single empty leaf.
+	if b.count == 0 {
+		lv := b.levels[0]
+		id, err := b.writePage(lv)
+		if err != nil {
+			return Tree{}, err
+		}
+		return Tree{Root: id, Height: 1, Count: 0}, nil
+	}
+	for i := 0; i < len(b.levels); i++ {
+		lv := b.levels[i]
+		// The topmost level becomes the root if it holds everything in
+		// one page and nothing was pushed above it.
+		last := i == len(b.levels)-1
+		if last && len(lv.keys) > 0 {
+			id, err := b.writePage(lv)
+			if err != nil {
+				return Tree{}, err
+			}
+			return Tree{Root: id, Height: uint32(i + 1), Count: b.count}, nil
+		}
+		if err := b.flushLevel(i); err != nil {
+			return Tree{}, err
+		}
+	}
+	// flushLevel grew a new top level containing exactly one child.
+	top := b.levels[len(b.levels)-1]
+	if len(top.children) == 1 {
+		return Tree{Root: top.children[0], Height: uint32(len(b.levels) - 1), Count: b.count}, nil
+	}
+	id, err := b.writePage(top)
+	if err != nil {
+		return Tree{}, err
+	}
+	return Tree{Root: id, Height: uint32(len(b.levels)), Count: b.count}, nil
+}
+
+// Reader provides lookups and scans over a finished tree.
+type Reader struct {
+	f    *pager.File
+	tree Tree
+}
+
+// NewReader returns a Reader for tree stored in f.
+func NewReader(f *pager.File, tree Tree) *Reader { return &Reader{f: f, tree: tree} }
+
+// Count returns the number of entries in the tree.
+func (r *Reader) Count() uint64 { return r.tree.Count }
+
+// page is a parsed page snapshot (copied out of the pool).
+type page struct {
+	typ   byte
+	n     int
+	next  pager.PageID
+	data  []byte
+	slots []uint16
+}
+
+func (r *Reader) loadPage(id pager.PageID) (*page, error) {
+	buf := make([]byte, pager.PageSize)
+	if err := r.f.Read(id, buf); err != nil {
+		return nil, err
+	}
+	p := &page{typ: buf[0], data: buf}
+	p.n = int(binary.LittleEndian.Uint16(buf[1:3]))
+	p.next = pager.PageID(binary.LittleEndian.Uint32(buf[3:7]))
+	p.slots = make([]uint16, p.n)
+	for i := 0; i < p.n; i++ {
+		p.slots[i] = binary.LittleEndian.Uint16(buf[headerSize+2*i:])
+	}
+	return p, nil
+}
+
+func (p *page) key(i int) []byte {
+	off := int(p.slots[i])
+	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
+	return p.data[off+2 : off+2+klen]
+}
+
+func (p *page) value(i int) []byte {
+	off := int(p.slots[i])
+	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
+	voff := off + 2 + klen
+	vlen := int(binary.LittleEndian.Uint16(p.data[voff:]))
+	return p.data[voff+2 : voff+2+vlen]
+}
+
+func (p *page) child(i int) pager.PageID {
+	off := int(p.slots[i])
+	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
+	return pager.PageID(binary.LittleEndian.Uint32(p.data[off+2+klen:]))
+}
+
+// search returns the number of keys in p that are <= key.
+func (p *page) search(key []byte) int {
+	lo, hi := 0, p.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(p.key(mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (r *Reader) Get(key []byte) ([]byte, bool, error) {
+	p, err := r.leafFor(key)
+	if err != nil {
+		return nil, false, err
+	}
+	i := p.search(key)
+	if i > 0 && bytes.Equal(p.key(i-1), key) {
+		return p.value(i - 1), true, nil
+	}
+	return nil, false, nil
+}
+
+// leafFor descends to the leaf that would contain key.
+func (r *Reader) leafFor(key []byte) (*page, error) {
+	p, err := r.loadPage(r.tree.Root)
+	if err != nil {
+		return nil, err
+	}
+	for p.typ == pageTypeInner {
+		i := p.search(key)
+		if i == 0 {
+			// key is smaller than every key in the tree; descend leftmost.
+			i = 1
+		}
+		p, err = r.loadPage(p.child(i - 1))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Iter iterates entries in key order.
+type Iter struct {
+	r    *Reader
+	p    *page
+	idx  int
+	to   []byte // exclusive; nil = unbounded
+	key  []byte
+	val  []byte
+	err  error
+	done bool
+}
+
+// Scan returns an iterator over keys in [from, to). A nil from starts at
+// the smallest key; nil to means unbounded.
+func (r *Reader) Scan(from, to []byte) *Iter {
+	it := &Iter{r: r, to: to}
+	var p *page
+	var err error
+	if from == nil {
+		p, err = r.loadPage(r.tree.Root)
+		for err == nil && p.typ == pageTypeInner {
+			p, err = r.loadPage(p.child(0))
+		}
+		it.p, it.idx = p, 0
+	} else {
+		p, err = r.leafFor(from)
+		if err == nil {
+			i := p.search(from)
+			if i > 0 && bytes.Equal(p.key(i-1), from) {
+				i-- // include the exact match
+			}
+			it.p, it.idx = p, i
+		}
+	}
+	it.err = err
+	return it
+}
+
+// ScanPrefix returns an iterator over all keys that start with prefix.
+func (r *Reader) ScanPrefix(prefix []byte) *Iter {
+	return r.Scan(prefix, prefixSuccessor(prefix))
+}
+
+func prefixSuccessor(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// Next advances the iterator. It returns false at the end of the range or
+// on error; check Err afterwards.
+func (it *Iter) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	for it.p != nil && it.idx >= it.p.n {
+		if it.p.next == noPage {
+			it.done = true
+			return false
+		}
+		var err error
+		it.p, err = it.r.loadPage(it.p.next)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.idx = 0
+	}
+	if it.p == nil {
+		it.done = true
+		return false
+	}
+	k := it.p.key(it.idx)
+	if it.to != nil && bytes.Compare(k, it.to) >= 0 {
+		it.done = true
+		return false
+	}
+	it.key = k
+	it.val = it.p.value(it.idx)
+	it.idx++
+	return true
+}
+
+// Key returns the current key (valid until the next call to Next).
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current value (valid until the next call to Next).
+func (it *Iter) Value() []byte { return it.val }
+
+// Err returns the first error encountered during iteration.
+func (it *Iter) Err() error { return it.err }

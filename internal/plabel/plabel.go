@@ -1,0 +1,290 @@
+// Package plabel implements P-labeling (paper §3.2).
+//
+// P-labeling assigns every XML node an integer that encodes the node's
+// source path SP(n) — the tag sequence from the root down to the node —
+// such that evaluating a suffix path query ("//a/b/c" or "/a/b/c") reduces
+// to a single range (or equality) predicate over node labels.
+//
+// # Construction
+//
+// The paper partitions an integer interval [0, m-1] recursively: the top
+// level is split by the *last* tag of the path, each sub-interval by the
+// tag before it, and so on; the ratio r_i assigned to each tag (and to the
+// path terminator "/") controls the sub-interval widths (Algorithms 1
+// and 2). With uniform ratios the label of a node is, equivalently, the
+// number whose base-(n+1) digit string — most significant digit first —
+// is the *reversed* source path: own tag, parent tag, ..., root tag,
+// followed by the terminator digit 0.
+//
+// This implementation chooses m = 2^128 and per-tag ratio 1/2^k with
+// 2^k >= n+1, so each "digit" is an exact k-bit field of a Uint128 and
+// Algorithms 1 and 2 become shifts and masks. Power-of-two ratios are a
+// valid instance of Definition 3.2: intervals still nest and are disjoint
+// exactly as the paper requires; the unused slack merely wastes label
+// space. Digit 0 is reserved for the terminator "/"; tags get digits
+// 1..n in sorted order (the paper notes the particular order is
+// irrelevant).
+//
+// A document of depth h fits iff h <= 128/k. For the paper's data sets:
+// Shakespeare (19 tags, k=5) allows depth 25; Protein (66 tags, k=7)
+// depth 18; Auction (77 tags, k=7) depth 18 — all comfortably above the
+// observed depths (7, 7, 12).
+package plabel
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/uint128"
+)
+
+// Scheme is a P-labeling for a fixed tag universe.
+type Scheme struct {
+	tags    []string       // sorted; digit of tags[i] is i+1
+	index   map[string]int // tag -> digit (1-based)
+	bitsPer uint           // k: bits per digit
+	slots   int            // D: number of whole digits in 128 bits
+}
+
+// NewScheme builds a scheme over the given tag universe. Tags are
+// deduplicated and sorted, so any ordering of the input yields the same
+// scheme.
+func NewScheme(tags []string) (*Scheme, error) {
+	set := map[string]bool{}
+	for _, t := range tags {
+		if t == "" {
+			return nil, fmt.Errorf("plabel: empty tag")
+		}
+		set[t] = true
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("plabel: no tags")
+	}
+	uniq := make([]string, 0, len(set))
+	for t := range set {
+		uniq = append(uniq, t)
+	}
+	sort.Strings(uniq)
+
+	// k bits must represent digits 0..n, i.e. 2^k >= n+1.
+	k := uint(bits.Len(uint(len(uniq)))) // Len(n) gives smallest k with 2^k > n, so 2^k >= n+1
+	if k == 0 {
+		k = 1
+	}
+	s := &Scheme{
+		tags:    uniq,
+		index:   make(map[string]int, len(uniq)),
+		bitsPer: k,
+		slots:   int(128 / k),
+	}
+	for i, t := range uniq {
+		s.index[t] = i + 1
+	}
+	return s, nil
+}
+
+// NumTags returns the number of distinct tags.
+func (s *Scheme) NumTags() int { return len(s.tags) }
+
+// Tags returns the tag universe in digit order (digit i+1 = Tags()[i]).
+func (s *Scheme) Tags() []string { return append([]string(nil), s.tags...) }
+
+// BitsPerTag returns the digit width k.
+func (s *Scheme) BitsPerTag() uint { return s.bitsPer }
+
+// MaxDepth returns the deepest node level the scheme can label.
+func (s *Scheme) MaxDepth() int { return s.slots }
+
+// TagDigit returns the digit assigned to tag.
+func (s *Scheme) TagDigit(tag string) (int, bool) {
+	d, ok := s.index[tag]
+	return d, ok
+}
+
+// digitShifted places digit d in slot (0 = most significant).
+func (s *Scheme) digitShifted(d int, slot int) uint128.Uint128 {
+	return uint128.From64(uint64(d)).Lsh(128 - s.bitsPer*uint(slot+1))
+}
+
+// Labeler assigns P-labels to nodes during a depth-first document walk
+// (the streaming form of the paper's Algorithm 2: the interval-partition
+// stack reduces to "shift the parent's label one digit down and prepend
+// your own tag digit").
+type Labeler struct {
+	s     *Scheme
+	stack []uint128.Uint128
+}
+
+// NewLabeler returns a Labeler for s.
+func (s *Scheme) NewLabeler() *Labeler { return &Labeler{s: s} }
+
+// Enter pushes an element with the given tag and returns its P-label.
+func (l *Labeler) Enter(tag string) (uint128.Uint128, error) {
+	d, ok := l.s.index[tag]
+	if !ok {
+		return uint128.Zero, fmt.Errorf("plabel: tag %q not in scheme", tag)
+	}
+	if len(l.stack)+1 > l.s.slots {
+		return uint128.Zero, fmt.Errorf("plabel: depth %d exceeds scheme capacity %d (tag %q)",
+			len(l.stack)+1, l.s.slots, tag)
+	}
+	var label uint128.Uint128
+	if len(l.stack) == 0 {
+		label = l.s.digitShifted(d, 0)
+	} else {
+		parent := l.stack[len(l.stack)-1]
+		label = parent.Rsh(l.s.bitsPer).Or(l.s.digitShifted(d, 0))
+	}
+	l.stack = append(l.stack, label)
+	return label, nil
+}
+
+// Leave pops the current element.
+func (l *Labeler) Leave() {
+	if len(l.stack) == 0 {
+		panic("plabel: Leave without matching Enter")
+	}
+	l.stack = l.stack[:len(l.stack)-1]
+}
+
+// Depth returns the number of open elements.
+func (l *Labeler) Depth() int { return len(l.stack) }
+
+// LabelPath returns the P-label a node with the given source path (root
+// tag first) would receive.
+func (s *Scheme) LabelPath(path []string) (uint128.Uint128, error) {
+	l := s.NewLabeler()
+	var last uint128.Uint128
+	for _, t := range path {
+		var err error
+		last, err = l.Enter(t)
+		if err != nil {
+			return uint128.Zero, err
+		}
+	}
+	if len(path) == 0 {
+		return uint128.Zero, fmt.Errorf("plabel: empty path")
+	}
+	return last, nil
+}
+
+// Query is a suffix path expression: an optional leading descendant step
+// followed by child steps (paper Definition 2.3). Tags are in document
+// order, root side first.
+type Query struct {
+	Absolute bool     // true: begins with "/", false: begins with "//"
+	Tags     []string // at least one tag
+}
+
+// String renders the query in XPath syntax.
+func (q Query) String() string {
+	sep := "//"
+	if q.Absolute {
+		sep = "/"
+	}
+	return sep + strings.Join(q.Tags, "/")
+}
+
+// Range is the P-label interval of a suffix path query: a node n matches
+// iff Lo <= n.plabel <= Hi (paper Proposition 3.2). If Exact is true the
+// query is a simple (absolute) path and every matching node's label
+// equals Lo, so an equality predicate suffices. Empty marks a query that
+// can match no node (unknown tag or over-deep path).
+type Range struct {
+	Lo    uint128.Uint128
+	Hi    uint128.Uint128
+	Exact bool
+	Empty bool
+}
+
+// Contains reports whether label falls in the range.
+func (r Range) Contains(label uint128.Uint128) bool {
+	if r.Empty {
+		return false
+	}
+	return r.Lo.Leq(label) && label.Leq(r.Hi)
+}
+
+// QueryRange computes the P-label interval for a suffix path query
+// (paper Algorithm 1).
+func (s *Scheme) QueryRange(q Query) (Range, error) {
+	if len(q.Tags) == 0 {
+		return Range{}, fmt.Errorf("plabel: query has no tags")
+	}
+	n := len(q.Tags)
+	steps := n
+	if q.Absolute {
+		steps++ // the terminator "/" consumes one more digit
+	}
+	if n > s.slots {
+		// No node can be that deep under this scheme; the query matches
+		// nothing.
+		return Range{Empty: true}, nil
+	}
+	var lo uint128.Uint128
+	for i, t := range q.Tags {
+		d, ok := s.index[t]
+		if !ok {
+			return Range{Empty: true}, nil
+		}
+		// Slot 0 holds the query's last tag; tag i (root side) lands in
+		// slot n-1-i.
+		lo = lo.Or(s.digitShifted(d, n-1-i))
+	}
+	// Free bits below the fixed digits (the terminator digit, when
+	// absolute, is 0 and therefore already present in lo).
+	freeBits := 128 - int(s.bitsPer)*steps
+	if freeBits < 0 {
+		freeBits = 0
+	}
+	hi := lo.Or(lowMask(uint(freeBits)))
+	return Range{Lo: lo, Hi: hi, Exact: q.Absolute}, nil
+}
+
+// lowMask returns a value with the low n bits set.
+func lowMask(n uint) uint128.Uint128 {
+	if n >= 128 {
+		return uint128.Max
+	}
+	return uint128.One.Lsh(n).Sub(uint128.One)
+}
+
+// DecodePath reconstructs the source path (root tag first) encoded in a
+// node label. It is the inverse of LabelPath and exists for debugging and
+// tests.
+func (s *Scheme) DecodePath(label uint128.Uint128) ([]string, error) {
+	var rev []string // own tag first
+	for slot := 0; slot < s.slots; slot++ {
+		shift := 128 - s.bitsPer*uint(slot+1)
+		d := label.Rsh(shift).And(lowMask(s.bitsPer)).Lo
+		if d == 0 {
+			break
+		}
+		if int(d) > len(s.tags) {
+			return nil, fmt.Errorf("plabel: digit %d out of range in slot %d", d, slot)
+		}
+		rev = append(rev, s.tags[d-1])
+	}
+	if len(rev) == 0 {
+		return nil, fmt.Errorf("plabel: label encodes no path")
+	}
+	// Verify no stray low bits below the decoded digits.
+	check, err := s.LabelPath(reverse(rev))
+	if err != nil {
+		return nil, err
+	}
+	if check.Cmp(label) != 0 {
+		return nil, fmt.Errorf("plabel: label has non-canonical trailing bits")
+	}
+	return reverse(rev), nil
+}
+
+func reverse(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[len(ss)-1-i] = s
+	}
+	return out
+}

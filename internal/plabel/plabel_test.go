@@ -1,0 +1,397 @@
+package plabel
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/uint128"
+)
+
+func scheme(t *testing.T, tags ...string) *Scheme {
+	t.Helper()
+	s, err := NewScheme(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(nil); err == nil {
+		t.Fatal("empty tag set accepted")
+	}
+	if _, err := NewScheme([]string{""}); err == nil {
+		t.Fatal("empty tag accepted")
+	}
+	s := scheme(t, "b", "a", "b") // dedup + sort
+	if s.NumTags() != 2 {
+		t.Fatalf("NumTags = %d", s.NumTags())
+	}
+	if got := s.Tags(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Tags = %v", got)
+	}
+}
+
+func TestBitsPerTag(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {19, 5}, {66, 7}, {77, 7}, {127, 7}, {128, 8},
+	}
+	for _, c := range cases {
+		tags := make([]string, c.n)
+		for i := range tags {
+			tags[i] = strings.Repeat("t", i+1)
+		}
+		s := scheme(t, tags...)
+		if s.BitsPerTag() != c.want {
+			t.Errorf("n=%d: bits = %d, want %d", c.n, s.BitsPerTag(), c.want)
+		}
+		// 2^k >= n+1
+		if 1<<s.BitsPerTag() < c.n+1 {
+			t.Errorf("n=%d: 2^%d < n+1", c.n, s.BitsPerTag())
+		}
+		if s.MaxDepth() != int(128/s.BitsPerTag()) {
+			t.Errorf("n=%d: MaxDepth = %d", c.n, s.MaxDepth())
+		}
+	}
+}
+
+func TestLabelerMatchesLabelPath(t *testing.T) {
+	s := scheme(t, "a", "b", "c")
+	l := s.NewLabeler()
+	la, err := l.Enter("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := l.Enter("b")
+	lc, _ := l.Enter("c")
+	l.Leave()
+	lb2, _ := l.Enter("b")
+
+	if p, _ := s.LabelPath([]string{"a"}); p != la {
+		t.Fatal("LabelPath(a) mismatch")
+	}
+	if p, _ := s.LabelPath([]string{"a", "b"}); p != lb {
+		t.Fatal("LabelPath(a/b) mismatch")
+	}
+	if p, _ := s.LabelPath([]string{"a", "b", "c"}); p != lc {
+		t.Fatal("LabelPath(a/b/c) mismatch")
+	}
+	if p, _ := s.LabelPath([]string{"a", "b", "b"}); p != lb2 {
+		t.Fatal("LabelPath(a/b/b) mismatch")
+	}
+	// Sibling sub-paths with the same tags get the same label.
+	if lb2 == lb {
+		t.Fatal("a/b and a/b/b must differ")
+	}
+}
+
+func TestEnterUnknownTag(t *testing.T) {
+	s := scheme(t, "a")
+	l := s.NewLabeler()
+	if _, err := l.Enter("zzz"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestDepthOverflow(t *testing.T) {
+	s := scheme(t, "a") // 1 bit per tag -> 128 slots
+	l := s.NewLabeler()
+	for i := 0; i < s.MaxDepth(); i++ {
+		if _, err := l.Enter("a"); err != nil {
+			t.Fatalf("Enter at depth %d: %v", i+1, err)
+		}
+	}
+	if _, err := l.Enter("a"); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestLeavePanics(t *testing.T) {
+	s := scheme(t, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.NewLabeler().Leave()
+}
+
+func TestQueryRangeBasics(t *testing.T) {
+	s := scheme(t, "a", "b", "c")
+
+	// Unknown tag -> empty.
+	r, err := s.QueryRange(Query{Tags: []string{"nope"}})
+	if err != nil || !r.Empty {
+		t.Fatalf("unknown tag: %+v, %v", r, err)
+	}
+	// No tags -> error.
+	if _, err := s.QueryRange(Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// Over-deep query -> empty.
+	deep := make([]string, s.MaxDepth()+1)
+	for i := range deep {
+		deep[i] = "a"
+	}
+	r, err = s.QueryRange(Query{Tags: deep})
+	if err != nil || !r.Empty {
+		t.Fatalf("over-deep: %+v, %v", r, err)
+	}
+	// Absolute queries are exact.
+	r, _ = s.QueryRange(Query{Absolute: true, Tags: []string{"a", "b"}})
+	if !r.Exact {
+		t.Fatal("absolute query should be exact")
+	}
+	r, _ = s.QueryRange(Query{Tags: []string{"a", "b"}})
+	if r.Exact {
+		t.Fatal("suffix query should not be exact")
+	}
+}
+
+func TestAbsoluteQueryEqualsNodeLabel(t *testing.T) {
+	s := scheme(t, "db", "entry", "name")
+	path := []string{"db", "entry", "name"}
+	node, err := s.LabelPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.QueryRange(Query{Absolute: true, Tags: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lo != node {
+		t.Fatalf("absolute query Lo %v != node label %v", r.Lo, node)
+	}
+	if !r.Contains(node) {
+		t.Fatal("node not contained in its own path query")
+	}
+}
+
+func TestString(t *testing.T) {
+	q := Query{Tags: []string{"a", "b"}}
+	if q.String() != "//a/b" {
+		t.Fatalf("String = %s", q.String())
+	}
+	q.Absolute = true
+	if q.String() != "/a/b" {
+		t.Fatalf("String = %s", q.String())
+	}
+}
+
+// suffixMatches is the semantic ground truth for suffix path evaluation:
+// a node with source path sp matches q iff q's tags are a suffix of sp
+// (and, for absolute queries, the whole of sp).
+func suffixMatches(sp []string, q Query) bool {
+	n, m := len(sp), len(q.Tags)
+	if q.Absolute && n != m {
+		return false
+	}
+	if m > n {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		if sp[n-m+i] != q.Tags[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropositionThreeTwo checks [[Q]] = {n | Q.lo <= n.plabel <= Q.hi}
+// over random documents and random queries (paper Proposition 3.2).
+func TestPropositionThreeTwo(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	tags := []string{"a", "b", "c", "d", "e", "f", "g"}
+	s := scheme(t, tags...)
+
+	// Generate random source paths (simulating nodes of random documents).
+	var paths [][]string
+	for i := 0; i < 400; i++ {
+		n := 1 + rnd.Intn(8)
+		p := make([]string, n)
+		for j := range p {
+			p[j] = tags[rnd.Intn(len(tags))]
+		}
+		paths = append(paths, p)
+	}
+	labels := make([]uint128.Uint128, len(paths))
+	for i, p := range paths {
+		var err error
+		labels[i], err = s.LabelPath(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for trial := 0; trial < 600; trial++ {
+		m := 1 + rnd.Intn(6)
+		q := Query{Absolute: rnd.Intn(2) == 0, Tags: make([]string, m)}
+		for j := range q.Tags {
+			q.Tags[j] = tags[rnd.Intn(len(tags))]
+		}
+		r, err := s.QueryRange(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range paths {
+			want := suffixMatches(p, q)
+			got := r.Contains(labels[i])
+			if got != want {
+				t.Fatalf("query %s vs path %v: got %v, want %v (label %v, range [%v,%v])",
+					q, p, got, want, labels[i], r.Lo, r.Hi)
+			}
+			if want && r.Exact && labels[i] != r.Lo {
+				t.Fatalf("exact query %s: matching label %v != Lo %v", q, labels[i], r.Lo)
+			}
+		}
+	}
+}
+
+// queryContained is the semantic containment relation between suffix path
+// expressions: P <= Q iff every node matching P matches Q, which holds iff
+// Q's tags are a suffix of P's tags and Q is no more restrictive about the
+// path start.
+func queryContained(p, q Query) bool {
+	np, nq := len(p.Tags), len(q.Tags)
+	if nq > np {
+		return false
+	}
+	for i := 0; i < nq; i++ {
+		if p.Tags[np-nq+i] != q.Tags[i] {
+			return false
+		}
+	}
+	if q.Absolute {
+		return p.Absolute && np == nq
+	}
+	return true
+}
+
+// TestDefinitionThreeTwoProperties checks the Containment and
+// Nonintersection properties of Definition 3.2 on random query pairs.
+func TestDefinitionThreeTwoProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1234))
+	tags := []string{"x", "y", "z"}
+	s := scheme(t, tags...)
+
+	randQuery := func() Query {
+		m := 1 + rnd.Intn(4)
+		q := Query{Absolute: rnd.Intn(2) == 0, Tags: make([]string, m)}
+		for j := range q.Tags {
+			q.Tags[j] = tags[rnd.Intn(len(tags))]
+		}
+		return q
+	}
+	intervalContained := func(rp, rq Range) bool {
+		return rq.Lo.Leq(rp.Lo) && rp.Hi.Leq(rq.Hi)
+	}
+	intervalsDisjoint := func(rp, rq Range) bool {
+		return rp.Hi.Less(rq.Lo) || rq.Hi.Less(rp.Lo)
+	}
+
+	for trial := 0; trial < 3000; trial++ {
+		p, q := randQuery(), randQuery()
+		rp, err := s.QueryRange(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := s.QueryRange(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Validation: lo <= hi.
+		if rp.Hi.Less(rp.Lo) {
+			t.Fatalf("validation violated for %s", p)
+		}
+		// Containment.
+		if want, got := queryContained(p, q), intervalContained(rp, rq); want != got {
+			t.Fatalf("containment %s <= %s: intervals say %v, semantics say %v", p, q, got, want)
+		}
+		// Either containment (one way) or disjoint.
+		contained := queryContained(p, q) || queryContained(q, p)
+		if contained == intervalsDisjoint(rp, rq) {
+			t.Fatalf("queries %s, %s: contained=%v but disjoint=%v", p, q, contained, intervalsDisjoint(rp, rq))
+		}
+	}
+}
+
+func TestDecodePath(t *testing.T) {
+	s := scheme(t, "db", "entry", "name", "year")
+	paths := [][]string{
+		{"db"},
+		{"db", "entry"},
+		{"db", "entry", "name"},
+		{"db", "entry", "entry", "year"},
+	}
+	for _, p := range paths {
+		label, err := s.LabelPath(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.DecodePath(label)
+		if err != nil {
+			t.Fatalf("DecodePath(%v): %v", p, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("DecodePath = %v, want %v", got, p)
+		}
+	}
+	if _, err := s.DecodePath(uint128.Zero); err == nil {
+		t.Fatal("DecodePath(0) should fail")
+	}
+	if _, err := s.DecodePath(uint128.One); err == nil {
+		t.Fatal("DecodePath(non-canonical) should fail")
+	}
+}
+
+// TestPaperFigureFourShape reproduces the structure of the paper's Fig. 4
+// partition: /t1/t2 lies inside //t1/t2 lies inside //t2, and sibling tag
+// intervals are disjoint.
+func TestPaperFigureFourShape(t *testing.T) {
+	tags := []string{"t1", "t2", "t3"}
+	s := scheme(t, tags...)
+	rt2, _ := s.QueryRange(Query{Tags: []string{"t2"}})
+	rt12, _ := s.QueryRange(Query{Tags: []string{"t1", "t2"}})
+	rt12abs, _ := s.QueryRange(Query{Absolute: true, Tags: []string{"t1", "t2"}})
+	rt32, _ := s.QueryRange(Query{Tags: []string{"t3", "t2"}})
+	rt3, _ := s.QueryRange(Query{Tags: []string{"t3"}})
+
+	within := func(in, out Range) bool { return out.Lo.Leq(in.Lo) && in.Hi.Leq(out.Hi) }
+	if !within(rt12, rt2) || !within(rt12abs, rt12) || !within(rt32, rt2) {
+		t.Fatal("nesting structure violated")
+	}
+	if !(rt12.Hi.Less(rt32.Lo) || rt32.Hi.Less(rt12.Lo)) {
+		t.Fatal("//t1/t2 and //t3/t2 must be disjoint")
+	}
+	if !(rt2.Hi.Less(rt3.Lo) || rt3.Hi.Less(rt2.Lo)) {
+		t.Fatal("//t2 and //t3 must be disjoint")
+	}
+}
+
+func BenchmarkEnter(b *testing.B) {
+	tags := make([]string, 77)
+	for i := range tags {
+		tags[i] = strings.Repeat("x", i%10+1) + string(rune('a'+i%26))
+	}
+	s, err := NewScheme(tags)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := s.NewLabeler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Depth() >= 10 {
+			for l.Depth() > 0 {
+				l.Leave()
+			}
+		}
+		if _, err := l.Enter(tags[i%len(tags)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package relengine executes translated plans the way the paper's
+// relational engine does (§5.2): each fragment is one indexed selection
+// over the SP or SD relation, and fragments are combined with structural
+// D-joins. The join operator is a stack-based structural merge join
+// (Al-Khalifa et al., "stack-tree" family) that runs in
+// O(inputs + output); a nested-loop D-join is provided for the ablation
+// benchmark.
+package relengine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/translate"
+)
+
+// JoinAlgorithm selects the D-join implementation.
+type JoinAlgorithm int
+
+// Join algorithms.
+const (
+	MergeJoin      JoinAlgorithm = iota // stack-based structural merge join
+	NestedLoopJoin                      // quadratic baseline (ablation only)
+)
+
+// Options configures execution.
+type Options struct {
+	Join JoinAlgorithm
+}
+
+// Result holds a query's answer.
+type Result struct {
+	// Records are the return-node bindings, deduplicated, in document
+	// order.
+	Records []relstore.Record
+}
+
+// Starts returns the start positions of the result records.
+func (r *Result) Starts() []uint32 {
+	out := make([]uint32, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.Start
+	}
+	return out
+}
+
+// Execute runs a plan against a store.
+func Execute(st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
+	if p.Empty() {
+		return &Result{}, nil
+	}
+	// Evaluate every fragment.
+	bindings := make([][]relstore.Record, len(p.Fragments))
+	for i, f := range p.Fragments {
+		recs, err := scanFragment(st, f)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return &Result{}, nil
+		}
+		bindings[i] = recs
+	}
+
+	if len(p.Joins) == 0 {
+		return &Result{Records: finalize(bindings[p.Return])}, nil
+	}
+
+	// Tuples over the fragments joined so far. cols maps fragment id to
+	// tuple column.
+	cols := map[int]int{}
+	first := p.Joins[0].Anc
+	cols[first] = 0
+	tuples := make([][]relstore.Record, len(bindings[first]))
+	for i, r := range bindings[first] {
+		tuples[i] = []relstore.Record{r}
+	}
+
+	for _, j := range p.Joins {
+		ancCol, ok := cols[j.Anc]
+		if !ok {
+			return nil, fmt.Errorf("relengine: join order is not a tree (fragment %d not yet bound)", j.Anc)
+		}
+		var err error
+		switch opts.Join {
+		case NestedLoopJoin:
+			tuples = nestedLoopJoin(tuples, ancCol, bindings[j.Desc], j)
+		default:
+			tuples, err = structuralMergeJoin(tuples, ancCol, bindings[j.Desc], j)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cols[j.Desc] = len(cols)
+		if len(tuples) == 0 {
+			return &Result{}, nil
+		}
+	}
+
+	retCol, ok := cols[p.Return]
+	if !ok {
+		return nil, fmt.Errorf("relengine: return fragment %d not joined", p.Return)
+	}
+	out := make([]relstore.Record, len(tuples))
+	for i, t := range tuples {
+		out[i] = t[retCol]
+	}
+	return &Result{Records: finalize(out)}, nil
+}
+
+// scanFragment evaluates one fragment's selection plus local predicates.
+func scanFragment(st *core.Store, f *translate.Fragment) ([]relstore.Record, error) {
+	var its []relstore.Iter
+	switch f.Access.Kind {
+	case translate.AccessPLabelEq:
+		its = append(its, st.SP().ScanPLabelExact(f.Access.Range.Lo))
+	case translate.AccessPLabelRange:
+		// Range scans cover several plabel runs, each start-sorted; merge
+		// them at scan time so the structural joins get sorted input.
+		it, err := st.SP().ScanPLabelRangeByStart(f.Access.Range.Lo, f.Access.Range.Hi)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, it)
+	case translate.AccessPLabelSet:
+		runs := make([]relstore.Iter, 0, len(f.Access.Labels))
+		for _, l := range f.Access.Labels {
+			runs = append(runs, st.SP().ScanPLabelExact(l))
+		}
+		it, err := relstore.MergeByStart(runs)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, it)
+	case translate.AccessTag:
+		its = append(its, st.SD().ScanTag(f.Access.TagID))
+	case translate.AccessAll:
+		its = append(its, st.SD().ScanStartRange(0, 0))
+	default:
+		return nil, fmt.Errorf("relengine: unknown access kind %v", f.Access.Kind)
+	}
+	attrs := attrTagIDs(st, f)
+	var out []relstore.Record
+	for _, it := range its {
+		for it.Next() {
+			rec := it.Record()
+			if f.Value != nil && rec.Data != *f.Value {
+				continue
+			}
+			if f.LevelEq != 0 && rec.Level != f.LevelEq {
+				continue
+			}
+			if attrs != nil && attrs[rec.TagID] {
+				continue
+			}
+			out = append(out, rec)
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// attrTagIDs returns the attribute tag ids to exclude for wildcard scans
+// (XPath * matches elements only), or nil when no filtering is needed.
+func attrTagIDs(st *core.Store, f *translate.Fragment) map[uint32]bool {
+	if f.Access.Kind != translate.AccessAll {
+		return nil
+	}
+	m := map[uint32]bool{}
+	for _, tag := range st.Scheme().Tags() {
+		if len(tag) > 0 && tag[0] == '@' {
+			if id, ok := st.TagID(tag); ok {
+				m[id] = true
+			}
+		}
+	}
+	return m
+}
+
+// structuralMergeJoin extends each tuple with the descendants of its
+// ancCol binding. Both inputs are sorted by start, then merged with a
+// stack of open ancestors: amortized linear plus output.
+func structuralMergeJoin(tuples [][]relstore.Record, ancCol int, descs []relstore.Record, j translate.Join) ([][]relstore.Record, error) {
+	sort.Slice(tuples, func(a, b int) bool { return tuples[a][ancCol].Start < tuples[b][ancCol].Start })
+	// Scans clustered by {plabel,start} are only start-sorted per plabel
+	// run; order the descendants by start. Records are fat (strings), so
+	// sort an index permutation instead of swapping them directly.
+	descs = sortedByStart(descs)
+
+	var out [][]relstore.Record
+	var stack [][]relstore.Record // open ancestor tuples, outermost first
+	ti := 0
+	for _, d := range descs {
+		// Open all ancestor tuples that start before d.
+		for ti < len(tuples) && tuples[ti][ancCol].Start < d.Start {
+			stack = append(stack, tuples[ti])
+			ti++
+		}
+		// Close those that ended before d.
+		live := stack[:0]
+		for _, t := range stack {
+			if t[ancCol].End > d.Start {
+				live = append(live, t)
+			}
+		}
+		stack = live
+		// Every remaining open tuple's interval contains d (intervals of a
+		// well-formed document nest, so start < d.start && end > d.start
+		// implies end > d.end).
+		for _, t := range stack {
+			a := t[ancCol]
+			if a.End <= d.End {
+				// Defensive: ill-nested inputs (possible only with a
+				// corrupted store) must not produce false positives.
+				continue
+			}
+			if j.LevelOK(a.Level, d.Level) {
+				nt := make([]relstore.Record, len(t)+1)
+				copy(nt, t)
+				nt[len(t)] = d
+				out = append(out, nt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// nestedLoopJoin is the quadratic D-join used by the ablation benchmark.
+func nestedLoopJoin(tuples [][]relstore.Record, ancCol int, descs []relstore.Record, j translate.Join) [][]relstore.Record {
+	var out [][]relstore.Record
+	for _, t := range tuples {
+		a := t[ancCol]
+		for _, d := range descs {
+			if a.Start < d.Start && a.End > d.End && j.LevelOK(a.Level, d.Level) {
+				nt := make([]relstore.Record, len(t)+1)
+				copy(nt, t)
+				nt[len(t)] = d
+				out = append(out, nt)
+			}
+		}
+	}
+	return out
+}
+
+// sortedByStart returns recs ordered by start position. Already-sorted
+// input (the common case: single-plabel and tag scans) is returned as is;
+// otherwise an index permutation is sorted and applied in one pass, which
+// avoids reflective swaps of the fat record structs.
+func sortedByStart(recs []relstore.Record) []relstore.Record {
+	sorted := true
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Start > recs[i].Start {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return recs
+	}
+	idx := make([]int32, len(recs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return recs[idx[a]].Start < recs[idx[b]].Start })
+	out := make([]relstore.Record, len(recs))
+	for i, j := range idx {
+		out[i] = recs[j]
+	}
+	return out
+}
+
+// finalize deduplicates by start position and sorts into document order.
+func finalize(recs []relstore.Record) []relstore.Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	recs = sortedByStart(recs)
+	out := recs[:1]
+	for _, r := range recs[1:] {
+		if r.Start != out[len(out)-1].Start {
+			out = append(out, r)
+		}
+	}
+	return out
+}

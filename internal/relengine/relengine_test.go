@@ -1,0 +1,245 @@
+package relengine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enginetest"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const proteinDoc = `<proteinDatabase>
+  <proteinEntry>
+    <protein>
+      <name>cytochrome c</name>
+      <classification><superfamily>cytochrome c</superfamily></classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors><author>Evans, M.J.</author><author>Smith, K.</author></authors>
+        <year>2001</year>
+        <title>The human somatic cytochrome c gene</title>
+      </refinfo>
+    </reference>
+  </proteinEntry>
+  <proteinEntry>
+    <protein>
+      <name>hemoglobin</name>
+      <classification><superfamily>globin</superfamily></classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors><author>Jones, A.</author></authors>
+        <year>2001</year>
+        <title>Other paper</title>
+      </refinfo>
+    </reference>
+  </proteinEntry>
+</proteinDatabase>`
+
+func allTranslators(t *testing.T, st *core.Store) map[string]translate.Translator {
+	t.Helper()
+	return map[string]translate.Translator{
+		"dlabel": translate.Baseline,
+		"split":  translate.Split,
+		"pushup": translate.PushUp,
+		"unfold": translate.Unfold,
+	}
+}
+
+func ctxFor(st *core.Store) translate.Context {
+	return translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+}
+
+// runAll executes query under every translator and checks each against
+// the reference evaluator.
+func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
+	t.Helper()
+	want, err := enginetest.EvalStarts(tree, query)
+	if err != nil {
+		t.Fatalf("reference eval %s: %v", query, err)
+	}
+	for name, tr := range allTranslators(t, st) {
+		p, err := tr(ctxFor(st), xpath.MustParse(query))
+		if err != nil {
+			t.Fatalf("%s: translate %s: %v", name, query, err)
+		}
+		res, err := Execute(st, p, Options{})
+		if err != nil {
+			t.Fatalf("%s: execute %s: %v", name, query, err)
+		}
+		if !enginetest.StartsEqual(res.Starts(), want) {
+			t.Errorf("%s: %s\n got %s\nwant %s\nplan:\n%s", name, query,
+				enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want), p)
+		}
+	}
+}
+
+func TestProteinQueries(t *testing.T) {
+	st, tree, err := enginetest.MustBuild(proteinDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	queries := []string{
+		"/proteinDatabase/proteinEntry/protein/name",
+		"//superfamily",
+		"//refinfo//author",
+		"/proteinDatabase//year",
+		"//authors/author",
+		`/proteinDatabase/proteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`,
+		`//proteinEntry[protein/name="hemoglobin"]//title`,
+		`//refinfo[year="2001"]/title`,
+		`//author="Jones, A."`,
+		"/proteinDatabase/proteinEntry/reference/refinfo/authors/author",
+		"/proteinDatabase/*/protein",
+		"//proteinEntry/*/name",
+		"/proteinDatabase/proteinEntry[protein/classification/superfamily]/protein/name",
+		"//nosuchtag",
+		"/wrongroot/name",
+	}
+	for _, q := range queries {
+		runAll(t, st, tree, q)
+	}
+}
+
+func TestNestedLoopJoinAgreesWithMerge(t *testing.T) {
+	st, tree, err := enginetest.MustBuild(proteinDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_ = tree
+	q := xpath.MustParse(`//proteinEntry[protein//superfamily="globin"]//title`)
+	p, err := translate.Split(ctxFor(st), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, err := Execute(st, p, Options{Join: MergeJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Execute(st, p, Options{Join: NestedLoopJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enginetest.StartsEqual(merge.Starts(), nl.Starts()) {
+		t.Fatalf("join algorithms disagree: %v vs %v", merge.Starts(), nl.Starts())
+	}
+	if len(merge.Records) == 0 {
+		t.Fatal("expected results")
+	}
+}
+
+// TestRecursiveDocument exercises self-nested tags, where suffix ranges
+// span multiple source paths and descendant joins must not overcount.
+func TestRecursiveDocument(t *testing.T) {
+	doc := `<list>
+	  <item><list><item>deep1</item><item>deep2</item></list></item>
+	  <item>shallow</item>
+	</list>`
+	st, tree, err := enginetest.MustBuild(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, q := range []string{
+		"//item",
+		"//list//item",
+		"//list/item",
+		"/list/item/list/item",
+		"//item//item",
+		"//item[list]",
+	} {
+		runAll(t, st, tree, q)
+	}
+}
+
+// TestDifferentialRandom compares every translator against the reference
+// evaluator on random documents and random queries.
+func TestDifferentialRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2024))
+	p := enginetest.DefaultDocParams()
+	for docIdx := 0; docIdx < 12; docIdx++ {
+		tree := enginetest.RandomDoc(rnd, p)
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qIdx := 0; qIdx < 30; qIdx++ {
+			runAll(t, st, tree, enginetest.RandomQuery(rnd, p))
+		}
+		st.Close()
+	}
+}
+
+func TestEmptyPlanShortCircuits(t *testing.T) {
+	st, _, err := enginetest.MustBuild(`<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p, err := translate.Split(ctxFor(st), xpath.MustParse("/a/zzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetCounters()
+	res, err := Execute(st, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("expected empty result")
+	}
+	if st.Snapshot().Visited != 0 {
+		t.Fatal("empty plan should not touch the store")
+	}
+}
+
+func TestVisitedElementsOrdering(t *testing.T) {
+	// The paper's core claim: BLAS translators visit fewer elements than
+	// the D-labeling baseline on suffix path queries.
+	doc := xmltree.New("db")
+	for i := 0; i < 50; i++ {
+		e := doc.AppendNew("entry")
+		p := e.AppendNew("protein")
+		p.AppendText("name", "x")
+		r := e.AppendNew("ref")
+		r.AppendText("name", "y") // names under ref inflate the baseline's name scan
+	}
+	st, err := core.BuildFromTree(doc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	q := xpath.MustParse("/db/entry/protein/name")
+	measure := func(tr translate.Translator) uint64 {
+		p, err := tr(ctxFor(st), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ResetCounters()
+		res, err := Execute(st, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != 50 {
+			t.Fatalf("got %d results", len(res.Records))
+		}
+		return st.Snapshot().Visited
+	}
+	base := measure(translate.Baseline)
+	split := measure(translate.Split)
+	if split >= base {
+		t.Fatalf("split visited %d >= baseline %d", split, base)
+	}
+	// The suffix path is answered with exactly the matching elements.
+	if split != 50 {
+		t.Fatalf("split visited %d, want 50", split)
+	}
+}

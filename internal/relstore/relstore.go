@@ -1,0 +1,425 @@
+// Package relstore implements the BLAS node relations (paper §4, §5.2.1).
+//
+// A Relation stores one tuple per XML node:
+//
+//	SP(plabel, start, end, level, data)  clustered by {plabel, start}
+//	SD(tag,    start, end, level, data)  clustered by {tag, start}
+//
+// SP drives the BLAS translators (P-label range/equality selections); SD
+// is the D-labeling baseline's relation. Both carry all five attributes
+// plus the tag id, so either relation can answer any query.
+//
+// A relation is a paged heap file holding records in cluster-key order,
+// plus three bulk-loaded B+ tree indexes (paper §4: "B+ tree indexes are
+// built on start, plabel and data"):
+//
+//	cluster: (plabel|tag, start) -> locator     — the clustered index
+//	start:   start              -> locator
+//	data:    (data, start)      -> locator      — only non-empty values
+//
+// All reads go through the pager's buffer pool, and every record decoded
+// by a scan increments the relation's "elements visited" counter — the
+// two quantities the paper's experiments report.
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/keyenc"
+	"repro/internal/pager"
+	"repro/internal/pbtree"
+	"repro/internal/uint128"
+)
+
+// Clustering selects the relation's cluster key.
+type Clustering byte
+
+// Clustering kinds.
+const (
+	ClusterPLabel Clustering = 1 // {plabel, start} — the BLAS relation SP
+	ClusterTag    Clustering = 2 // {tag, start} — the D-labeling relation SD
+)
+
+func (c Clustering) String() string {
+	if c == ClusterPLabel {
+		return "SP"
+	}
+	return "SD"
+}
+
+// Record is one node tuple.
+type Record struct {
+	PLabel uint128.Uint128
+	TagID  uint32 // scheme digit (1-based)
+	Start  uint32
+	End    uint32
+	Level  uint16
+	Data   string // text value; "" = null
+}
+
+// recordSize returns the encoded size of r.
+func recordSize(r *Record) int { return 16 + 4 + 4 + 4 + 2 + 2 + len(r.Data) }
+
+// encodeRecord appends r's encoding to dst.
+func encodeRecord(dst []byte, r *Record) []byte {
+	dst = r.PLabel.AppendBytes(dst)
+	var b [16]byte
+	binary.LittleEndian.PutUint32(b[0:], r.TagID)
+	binary.LittleEndian.PutUint32(b[4:], r.Start)
+	binary.LittleEndian.PutUint32(b[8:], r.End)
+	binary.LittleEndian.PutUint16(b[12:], r.Level)
+	binary.LittleEndian.PutUint16(b[14:], uint16(len(r.Data)))
+	dst = append(dst, b[:]...)
+	return append(dst, r.Data...)
+}
+
+// decodeRecord parses a record at buf and returns it.
+func decodeRecord(buf []byte) Record {
+	var r Record
+	r.PLabel = uint128.FromBytes(buf)
+	r.TagID = binary.LittleEndian.Uint32(buf[16:])
+	r.Start = binary.LittleEndian.Uint32(buf[20:])
+	r.End = binary.LittleEndian.Uint32(buf[24:])
+	r.Level = binary.LittleEndian.Uint16(buf[28:])
+	dlen := int(binary.LittleEndian.Uint16(buf[30:]))
+	r.Data = string(buf[32 : 32+dlen])
+	return r
+}
+
+// clusterKey builds the cluster-index key for r.
+func clusterKey(kind Clustering, r *Record, enc *keyenc.Encoder) []byte {
+	enc.Reset()
+	if kind == ClusterPLabel {
+		enc.PutUint128(r.PLabel)
+	} else {
+		enc.PutUint32(r.TagID)
+	}
+	enc.PutUint32(r.Start)
+	return enc.Bytes()
+}
+
+// Locator addresses a record in the heap.
+type Locator struct {
+	Page pager.PageID
+	Slot uint16
+}
+
+func encodeLocator(l Locator) []byte {
+	var b [6]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(l.Page))
+	binary.LittleEndian.PutUint16(b[4:], l.Slot)
+	return b[:]
+}
+
+func decodeLocator(b []byte) Locator {
+	return Locator{
+		Page: pager.PageID(binary.LittleEndian.Uint32(b[0:])),
+		Slot: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+// --- heap page layout ---
+//
+//	[0:2]  record count
+//	[2:..] slot offsets (2 bytes each), then records
+
+const heapHeader = 2
+
+// Relation is an open node relation.
+type Relation struct {
+	f        *pager.File
+	meta     relMeta
+	cluster  *pbtree.Reader
+	startIdx *pbtree.Reader
+	dataIdx  *pbtree.Reader
+	visited  atomic.Uint64
+}
+
+type relMeta struct {
+	kind      Clustering
+	count     uint64
+	heapFirst pager.PageID
+	heapLast  pager.PageID
+	cluster   pbtree.Tree
+	start     pbtree.Tree
+	data      pbtree.Tree
+}
+
+const metaMagic = "BLASREL1"
+
+func writeMeta(f *pager.File, id pager.PageID, m *relMeta) error {
+	return f.Update(id, func(p []byte) error {
+		copy(p, metaMagic)
+		p[8] = byte(m.kind)
+		binary.LittleEndian.PutUint64(p[9:], m.count)
+		binary.LittleEndian.PutUint32(p[17:], uint32(m.heapFirst))
+		binary.LittleEndian.PutUint32(p[21:], uint32(m.heapLast))
+		off := 25
+		for _, t := range []pbtree.Tree{m.cluster, m.start, m.data} {
+			binary.LittleEndian.PutUint32(p[off:], uint32(t.Root))
+			binary.LittleEndian.PutUint32(p[off+4:], t.Height)
+			binary.LittleEndian.PutUint64(p[off+8:], t.Count)
+			off += 16
+		}
+		return nil
+	})
+}
+
+func readMeta(f *pager.File, id pager.PageID) (relMeta, error) {
+	var m relMeta
+	err := f.View(id, func(p []byte) error {
+		if string(p[:8]) != metaMagic {
+			return fmt.Errorf("relstore: bad magic %q", p[:8])
+		}
+		m.kind = Clustering(p[8])
+		if m.kind != ClusterPLabel && m.kind != ClusterTag {
+			return fmt.Errorf("relstore: bad clustering %d", p[8])
+		}
+		m.count = binary.LittleEndian.Uint64(p[9:])
+		m.heapFirst = pager.PageID(binary.LittleEndian.Uint32(p[17:]))
+		m.heapLast = pager.PageID(binary.LittleEndian.Uint32(p[21:]))
+		off := 25
+		for _, t := range []*pbtree.Tree{&m.cluster, &m.start, &m.data} {
+			t.Root = pager.PageID(binary.LittleEndian.Uint32(p[off:]))
+			t.Height = binary.LittleEndian.Uint32(p[off+4:])
+			t.Count = binary.LittleEndian.Uint64(p[off+8:])
+			off += 16
+		}
+		return nil
+	})
+	return m, err
+}
+
+// Build creates a relation in f from records. The records are sorted by
+// the cluster key internally (the input order does not matter); the heap
+// is packed in cluster order, then the three indexes are bulk loaded.
+// Page 0 of f holds the metadata.
+func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) {
+	if kind != ClusterPLabel && kind != ClusterTag {
+		return nil, fmt.Errorf("relstore: bad clustering %d", kind)
+	}
+	metaPage, err := f.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if metaPage != 0 {
+		return nil, fmt.Errorf("relstore: metadata page must be page 0, got %d", metaPage)
+	}
+
+	recs := make([]*Record, len(records))
+	for i := range records {
+		recs[i] = &records[i]
+	}
+	enc1, enc2 := keyenc.New(nil), keyenc.New(nil)
+	sort.Slice(recs, func(i, j int) bool {
+		return keyenc.Compare(clusterKey(kind, recs[i], enc1), clusterKey(kind, recs[j], enc2)) < 0
+	})
+
+	// Pack the heap.
+	type pending struct {
+		rec *Record
+		loc Locator
+	}
+	placed := make([]pending, 0, len(recs))
+	var curPage pager.PageID
+	var curRecs []*Record
+	curUsed := heapHeader
+	heapFirst, heapLast := pager.PageID(0), pager.PageID(0)
+	havePages := false
+
+	flush := func() error {
+		if len(curRecs) == 0 {
+			return nil
+		}
+		id, err := f.Alloc()
+		if err != nil {
+			return err
+		}
+		if !havePages {
+			heapFirst = id
+			havePages = true
+		}
+		heapLast = id
+		curPage = id
+		err = f.Update(id, func(p []byte) error {
+			binary.LittleEndian.PutUint16(p[0:2], uint16(len(curRecs)))
+			off := heapHeader + 2*len(curRecs)
+			for i, r := range curRecs {
+				binary.LittleEndian.PutUint16(p[heapHeader+2*i:], uint16(off))
+				encoded := encodeRecord(p[off:off], r)
+				off += len(encoded)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range curRecs {
+			placed = append(placed, pending{rec: r, loc: Locator{Page: curPage, Slot: uint16(i)}})
+		}
+		curRecs = curRecs[:0]
+		curUsed = heapHeader
+		return nil
+	}
+
+	for _, r := range recs {
+		need := 2 + recordSize(r) // slot + record
+		if recordSize(r) > pager.PageSize-heapHeader-2 {
+			return nil, fmt.Errorf("relstore: record too large (%d bytes, data %q…)", recordSize(r), clip(r.Data, 20))
+		}
+		if curUsed+need > pager.PageSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		curRecs = append(curRecs, r)
+		curUsed += need
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if !havePages {
+		// Empty relation: allocate one empty heap page so scans work.
+		id, err := f.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		heapFirst, heapLast = id, id
+	}
+
+	// Bulk load the indexes. placed is in cluster-key order already.
+	cb := pbtree.NewBuilder(f)
+	enc := keyenc.New(nil)
+	for _, pe := range placed {
+		if err := cb.Add(clusterKey(kind, pe.rec, enc), encodeLocator(pe.loc)); err != nil {
+			return nil, err
+		}
+	}
+	clusterTree, err := cb.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	byStart := make([]pending, len(placed))
+	copy(byStart, placed)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].rec.Start < byStart[j].rec.Start })
+	sb := pbtree.NewBuilder(f)
+	for _, pe := range byStart {
+		if err := sb.Add(keyenc.Uint32(pe.rec.Start), encodeLocator(pe.loc)); err != nil {
+			return nil, err
+		}
+	}
+	startTree, err := sb.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	var byData []pending
+	for _, pe := range placed {
+		if pe.rec.Data != "" {
+			byData = append(byData, pe)
+		}
+	}
+	sort.Slice(byData, func(i, j int) bool {
+		if byData[i].rec.Data != byData[j].rec.Data {
+			return byData[i].rec.Data < byData[j].rec.Data
+		}
+		return byData[i].rec.Start < byData[j].rec.Start
+	})
+	db := pbtree.NewBuilder(f)
+	for _, pe := range byData {
+		k := keyenc.New(nil).PutString(pe.rec.Data).PutUint32(pe.rec.Start).Bytes()
+		if err := db.Add(k, encodeLocator(pe.loc)); err != nil {
+			return nil, err
+		}
+	}
+	dataTree, err := db.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	m := relMeta{
+		kind:      kind,
+		count:     uint64(len(recs)),
+		heapFirst: heapFirst,
+		heapLast:  heapLast,
+		cluster:   clusterTree,
+		start:     startTree,
+		data:      dataTree,
+	}
+	if err := writeMeta(f, metaPage, &m); err != nil {
+		return nil, err
+	}
+	if err := f.Flush(); err != nil {
+		return nil, err
+	}
+	return openWithMeta(f, m), nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Open opens a relation previously built in f.
+func Open(f *pager.File) (*Relation, error) {
+	m, err := readMeta(f, 0)
+	if err != nil {
+		return nil, err
+	}
+	return openWithMeta(f, m), nil
+}
+
+func openWithMeta(f *pager.File, m relMeta) *Relation {
+	return &Relation{
+		f:        f,
+		meta:     m,
+		cluster:  pbtree.NewReader(f, m.cluster),
+		startIdx: pbtree.NewReader(f, m.start),
+		dataIdx:  pbtree.NewReader(f, m.data),
+	}
+}
+
+// Kind returns the relation's clustering.
+func (r *Relation) Kind() Clustering { return r.meta.kind }
+
+// Count returns the number of records.
+func (r *Relation) Count() uint64 { return r.meta.count }
+
+// Visited returns the number of records decoded by scans since the last
+// ResetCounters — the paper's "visited elements" metric.
+func (r *Relation) Visited() uint64 { return r.visited.Load() }
+
+// ResetCounters zeroes the visited-elements counter.
+func (r *Relation) ResetCounters() { r.visited.Store(0) }
+
+// File exposes the underlying paged file (for buffer-pool statistics and
+// cache control).
+func (r *Relation) File() *pager.File { return r.f }
+
+// fetch reads the record at loc.
+func (r *Relation) fetch(loc Locator) (Record, error) {
+	var rec Record
+	err := r.f.View(loc.Page, func(p []byte) error {
+		n := int(binary.LittleEndian.Uint16(p[0:2]))
+		if int(loc.Slot) >= n {
+			return fmt.Errorf("relstore: slot %d out of range on page %d (%d records)", loc.Slot, loc.Page, n)
+		}
+		off := int(binary.LittleEndian.Uint16(p[heapHeader+2*int(loc.Slot):]))
+		rec = decodeRecord(p[off:])
+		return nil
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	r.visited.Add(1)
+	return rec, nil
+}
+
+// Get fetches the record at loc (exported for engines that keep locators).
+func (r *Relation) Get(loc Locator) (Record, error) { return r.fetch(loc) }

@@ -1,0 +1,223 @@
+package relstore
+
+import (
+	"container/heap"
+
+	"repro/internal/keyenc"
+	"repro/internal/uint128"
+)
+
+// Iter is a record iterator. All scan methods return one.
+type Iter interface {
+	// Next advances to the next record, returning false at the end or on
+	// error (check Err).
+	Next() bool
+	// Record returns the current record.
+	Record() Record
+	// Err returns the first error encountered.
+	Err() error
+}
+
+// indexIter fetches records addressed by an index iterator.
+type indexIter struct {
+	r    *Relation
+	it   interface{ Next() bool }
+	key  func() []byte
+	val  func() []byte
+	ierr func() error
+
+	rec Record
+	err error
+}
+
+func (s *indexIter) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	if !s.it.Next() {
+		s.err = s.ierr()
+		return false
+	}
+	loc := decodeLocator(s.val())
+	s.rec, s.err = s.r.fetch(loc)
+	return s.err == nil
+}
+
+func (s *indexIter) Record() Record { return s.rec }
+func (s *indexIter) Err() error     { return s.err }
+
+// scanClusterRange returns records whose cluster key lies in [from, to).
+func (r *Relation) scanClusterRange(from, to []byte) Iter {
+	it := r.cluster.Scan(from, to)
+	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+}
+
+// ScanAll iterates every record in cluster-key order.
+func (r *Relation) ScanAll() Iter { return r.scanClusterRange(nil, nil) }
+
+// ScanPLabelRange iterates records with lo <= plabel <= hi, in
+// (plabel, start) order. The relation must be plabel-clustered.
+func (r *Relation) ScanPLabelRange(lo, hi uint128.Uint128) Iter {
+	from := keyenc.Uint128(lo)
+	to := keyenc.PrefixSuccessor(keyenc.Uint128(hi))
+	return r.scanClusterRange(from, to)
+}
+
+// ScanPLabelExact iterates records with plabel == p, in start order.
+func (r *Relation) ScanPLabelExact(p uint128.Uint128) Iter {
+	prefix := keyenc.Uint128(p)
+	return r.scanClusterRange(prefix, keyenc.PrefixSuccessor(prefix))
+}
+
+// ScanTag iterates records with the given tag id, in start order. The
+// relation must be tag-clustered.
+func (r *Relation) ScanTag(tagID uint32) Iter {
+	prefix := keyenc.Uint32(tagID)
+	return r.scanClusterRange(prefix, keyenc.PrefixSuccessor(prefix))
+}
+
+// ScanData iterates records whose data equals value, in start order,
+// using the data index.
+func (r *Relation) ScanData(value string) Iter {
+	prefix := keyenc.String(value)
+	it := r.dataIdx.Scan(prefix, keyenc.PrefixSuccessor(prefix))
+	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+}
+
+// ScanStartRange iterates records with lo <= start < hi via the start
+// index (hi == 0 means unbounded).
+func (r *Relation) ScanStartRange(lo, hi uint32) Iter {
+	from := keyenc.Uint32(lo)
+	var to []byte
+	if hi != 0 {
+		to = keyenc.Uint32(hi)
+	}
+	it := r.startIdx.Scan(from, to)
+	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+}
+
+// --- start-ordered merge over a plabel range ---
+
+// DistinctPLabels enumerates the distinct plabel values present in
+// [lo, hi] using a skip scan over the clustered index: only the first
+// entry of each run is touched.
+func (r *Relation) DistinctPLabels(lo, hi uint128.Uint128) ([]uint128.Uint128, error) {
+	var out []uint128.Uint128
+	cur := keyenc.Uint128(lo)
+	end := keyenc.PrefixSuccessor(keyenc.Uint128(hi))
+	for {
+		it := r.cluster.Scan(cur, end)
+		if !it.Next() {
+			if err := it.Err(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		p := uint128.FromBytes(it.Key())
+		out = append(out, p)
+		next := keyenc.PrefixSuccessor(keyenc.Uint128(p))
+		if next == nil {
+			return out, nil
+		}
+		cur = next
+	}
+}
+
+// ScanPLabelRangeByStart iterates records with lo <= plabel <= hi in
+// document (start) order. Records within one plabel run are already
+// start-ordered (the cluster key is {plabel, start}); runs are combined
+// with a k-way merge, so the stream is produced without materializing it.
+//
+// The holistic twig join engine consumes these streams: TwigStack needs
+// each query node's input sorted by start position.
+func (r *Relation) ScanPLabelRangeByStart(lo, hi uint128.Uint128) (Iter, error) {
+	plabels, err := r.DistinctPLabels(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if len(plabels) == 1 {
+		return r.ScanPLabelExact(plabels[0]), nil
+	}
+	runs := make([]Iter, 0, len(plabels))
+	for _, p := range plabels {
+		runs = append(runs, r.ScanPLabelExact(p))
+	}
+	return MergeByStart(runs)
+}
+
+// MergeByStart combines start-ordered iterators into one start-ordered
+// stream (k-way heap merge). It is used to build document-order streams
+// over P-label sets for the twig join engine.
+func MergeByStart(runs []Iter) (Iter, error) {
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	m := &mergeIter{}
+	for _, run := range runs {
+		if run.Next() {
+			m.runs = append(m.runs, run)
+		} else if err := run.Err(); err != nil {
+			return nil, err
+		}
+	}
+	heap.Init(m)
+	return m, nil
+}
+
+// mergeIter merges start-ordered runs. Each run in runs is positioned at
+// its current record.
+type mergeIter struct {
+	runs []Iter
+	cur  Record
+	err  error
+	init bool
+}
+
+func (m *mergeIter) Len() int { return len(m.runs) }
+func (m *mergeIter) Less(i, j int) bool {
+	return m.runs[i].Record().Start < m.runs[j].Record().Start
+}
+func (m *mergeIter) Swap(i, j int) { m.runs[i], m.runs[j] = m.runs[j], m.runs[i] }
+func (m *mergeIter) Push(x any)    { m.runs = append(m.runs, x.(Iter)) }
+func (m *mergeIter) Pop() any {
+	x := m.runs[len(m.runs)-1]
+	m.runs = m.runs[:len(m.runs)-1]
+	return x
+}
+
+func (m *mergeIter) Next() bool {
+	if m.err != nil {
+		return false
+	}
+	if m.init {
+		// Advance the run we last emitted from.
+		top := m.runs[0]
+		if top.Next() {
+			heap.Fix(m, 0)
+		} else {
+			if err := top.Err(); err != nil {
+				m.err = err
+				return false
+			}
+			heap.Pop(m)
+		}
+	}
+	m.init = true
+	if len(m.runs) == 0 {
+		return false
+	}
+	m.cur = m.runs[0].Record()
+	return true
+}
+
+func (m *mergeIter) Record() Record { return m.cur }
+func (m *mergeIter) Err() error     { return m.err }
+
+// Collect drains an iterator into a slice (testing and small-result use).
+func Collect(it Iter) ([]Record, error) {
+	var out []Record
+	for it.Next() {
+		out = append(out, it.Record())
+	}
+	return out, it.Err()
+}

@@ -1,0 +1,130 @@
+// Package sax delivers a stream of SAX-style events from an XML document.
+//
+// The BLAS index generator (paper Fig. 6) consumes SAX events rather than a
+// materialized tree, so arbitrarily large documents can be shredded in
+// bounded memory. The package wraps the standard library decoder and
+// normalizes the stream for BLAS's data model:
+//
+//   - comments, processing instructions and directives are dropped;
+//   - whitespace-only character data between elements is dropped;
+//   - attributes are delivered with their owning start-element event (the
+//     shredder models them as child nodes tagged "@name", matching the
+//     paper's node counts, which include attribute nodes).
+package sax
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"encoding/xml"
+)
+
+// Attr is an attribute of an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Handler receives parse events. Returning a non-nil error aborts the
+// parse and propagates the error.
+type Handler interface {
+	// StartElement is called for each start tag. attrs is only valid for
+	// the duration of the call.
+	StartElement(name string, attrs []Attr) error
+	// Text is called for each non-whitespace character data block, with
+	// surrounding whitespace trimmed.
+	Text(text string) error
+	// EndElement is called for each end tag.
+	EndElement(name string) error
+}
+
+// Parse reads an XML document from r and delivers events to h.
+// The document must be well formed and have a single root element.
+func Parse(r io.Reader, h Handler) error {
+	dec := xml.NewDecoder(r)
+	depth := 0
+	seenRoot := false
+	var attrs []Attr
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if depth != 0 {
+				return fmt.Errorf("sax: unexpected EOF at depth %d", depth)
+			}
+			if !seenRoot {
+				return fmt.Errorf("sax: document has no root element")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("sax: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 && seenRoot {
+				return fmt.Errorf("sax: multiple root elements (second is <%s>)", t.Name.Local)
+			}
+			seenRoot = true
+			depth++
+			attrs = attrs[:0]
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				attrs = append(attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if err := h.StartElement(t.Name.Local, attrs); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			depth--
+			if err := h.EndElement(t.Name.Local); err != nil {
+				return err
+			}
+		case xml.CharData:
+			if depth == 0 {
+				continue // whitespace outside the root
+			}
+			s := strings.TrimSpace(string(t))
+			if s == "" {
+				continue
+			}
+			if err := h.Text(s); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// FuncHandler adapts three functions to the Handler interface. Nil
+// functions ignore their events.
+type FuncHandler struct {
+	Start func(name string, attrs []Attr) error
+	Chars func(text string) error
+	End   func(name string) error
+}
+
+// StartElement implements Handler.
+func (f FuncHandler) StartElement(name string, attrs []Attr) error {
+	if f.Start == nil {
+		return nil
+	}
+	return f.Start(name, attrs)
+}
+
+// Text implements Handler.
+func (f FuncHandler) Text(text string) error {
+	if f.Chars == nil {
+		return nil
+	}
+	return f.Chars(text)
+}
+
+// EndElement implements Handler.
+func (f FuncHandler) EndElement(name string) error {
+	if f.End == nil {
+		return nil
+	}
+	return f.End(name)
+}

@@ -1,0 +1,163 @@
+package sax
+
+import (
+	"strings"
+	"testing"
+)
+
+type event struct {
+	kind  string // "start", "text", "end"
+	value string
+	attrs []Attr
+}
+
+func collect(t *testing.T, doc string) []event {
+	t.Helper()
+	events, err := tryCollect(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return events
+}
+
+func tryCollect(doc string) ([]event, error) {
+	var events []event
+	h := FuncHandler{
+		Start: func(name string, attrs []Attr) error {
+			events = append(events, event{"start", name, append([]Attr(nil), attrs...)})
+			return nil
+		},
+		Chars: func(text string) error {
+			events = append(events, event{kind: "text", value: text})
+			return nil
+		},
+		End: func(name string) error {
+			events = append(events, event{kind: "end", value: name})
+			return nil
+		},
+	}
+	if err := Parse(strings.NewReader(doc), h); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+func TestSimpleDocument(t *testing.T) {
+	events := collect(t, `<a><b>hi</b><c/></a>`)
+	want := []event{
+		{kind: "start", value: "a"},
+		{kind: "start", value: "b"},
+		{kind: "text", value: "hi"},
+		{kind: "end", value: "b"},
+		{kind: "start", value: "c"},
+		{kind: "end", value: "c"},
+		{kind: "end", value: "a"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(events), len(want), events)
+	}
+	for i := range want {
+		if events[i].kind != want[i].kind || events[i].value != want[i].value {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestAttributesDelivered(t *testing.T) {
+	events := collect(t, `<a id="1" name="x"/>`)
+	if events[0].kind != "start" || len(events[0].attrs) != 2 {
+		t.Fatalf("start event = %+v", events[0])
+	}
+	if events[0].attrs[0] != (Attr{"id", "1"}) || events[0].attrs[1] != (Attr{"name", "x"}) {
+		t.Fatalf("attrs = %+v", events[0].attrs)
+	}
+}
+
+func TestWhitespaceOnlyTextDropped(t *testing.T) {
+	events := collect(t, "<a>\n  <b>x</b>\n</a>")
+	for _, e := range events {
+		if e.kind == "text" && strings.TrimSpace(e.value) == "" {
+			t.Fatalf("whitespace text delivered: %q", e.value)
+		}
+	}
+}
+
+func TestTextIsTrimmed(t *testing.T) {
+	events := collect(t, "<a>  padded  </a>")
+	if events[1].value != "padded" {
+		t.Fatalf("text = %q", events[1].value)
+	}
+}
+
+func TestCommentsAndPIsDropped(t *testing.T) {
+	events := collect(t, `<?xml version="1.0"?><!-- hello --><a><!-- inner --><?pi data?></a>`)
+	if len(events) != 2 {
+		t.Fatalf("got %d events: %v", len(events), events)
+	}
+}
+
+func TestEntitiesDecoded(t *testing.T) {
+	events := collect(t, `<a>&lt;tag&gt; &amp; more</a>`)
+	if events[1].value != "<tag> & more" {
+		t.Fatalf("text = %q", events[1].value)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		``,                  // empty document
+		`<a>`,               // unclosed
+		`<a></b>`,           // mismatched
+		`<a/><b/>`,          // two roots
+		`text only`,         // no root element
+		`<a><b></a></b>`,    // interleaved
+		`<a attr=oops></a>`, // bad attribute syntax
+	}
+	for _, doc := range cases {
+		if _, err := tryCollect(doc); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestHandlerErrorAborts(t *testing.T) {
+	calls := 0
+	h := FuncHandler{
+		Start: func(name string, attrs []Attr) error {
+			calls++
+			if name == "stop" {
+				return errStop
+			}
+			return nil
+		},
+	}
+	err := Parse(strings.NewReader(`<a><stop/><never/></a>`), h)
+	if err != errStop {
+		t.Fatalf("err = %v, want errStop", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }
+
+func TestNilFuncHandlerFields(t *testing.T) {
+	if err := Parse(strings.NewReader(`<a>hi</a>`), FuncHandler{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamespacePrefixStripped(t *testing.T) {
+	events := collect(t, `<ns:a xmlns:ns="http://example.com"><ns:b/></ns:a>`)
+	if events[0].value != "a" || events[1].value != "b" {
+		t.Fatalf("events = %v", events)
+	}
+	if len(events[0].attrs) != 0 {
+		t.Fatalf("xmlns attribute leaked: %v", events[0].attrs)
+	}
+}

@@ -1,0 +1,332 @@
+// Package schema provides the DTD-like schema graph used by the Unfold
+// translator (paper §4.1.3).
+//
+// The graph records which tags may appear as children of which, the root
+// tags, and the maximum observed document depth. Unfold rewrites p//q
+// into the union of p/r1/…/rk/q over all chains the schema admits
+// (bounded by the document depth for recursive schemas), and substitutes
+// wildcards with the actual child tags.
+//
+// Graphs can be declared programmatically, extracted from a document
+// tree, or accumulated during a streaming shred, and serialize to a
+// compact text form for storage in the BLAS metadata file.
+package schema
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Graph is a schema graph.
+type Graph struct {
+	children map[string]map[string]bool
+	roots    map[string]bool
+	maxDepth int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		children: map[string]map[string]bool{},
+		roots:    map[string]bool{},
+	}
+}
+
+// AddRoot marks tag as a document root tag.
+func (g *Graph) AddRoot(tag string) {
+	g.roots[tag] = true
+	if g.maxDepth < 1 {
+		g.maxDepth = 1
+	}
+}
+
+// AddEdge records that child may appear under parent.
+func (g *Graph) AddEdge(parent, child string) {
+	m, ok := g.children[parent]
+	if !ok {
+		m = map[string]bool{}
+		g.children[parent] = m
+	}
+	m[child] = true
+}
+
+// ObserveDepth raises the recorded maximum depth to d if larger.
+func (g *Graph) ObserveDepth(d int) {
+	if d > g.maxDepth {
+		g.maxDepth = d
+	}
+}
+
+// MaxDepth returns the maximum observed document depth (in nodes).
+func (g *Graph) MaxDepth() int { return g.maxDepth }
+
+// Roots returns the root tags, sorted.
+func (g *Graph) Roots() []string { return sortedKeys(g.roots) }
+
+// Children returns the possible child tags of parent, sorted.
+func (g *Graph) Children(parent string) []string { return sortedKeys(g.children[parent]) }
+
+// HasEdge reports whether child may appear directly under parent.
+func (g *Graph) HasEdge(parent, child string) bool { return g.children[parent][child] }
+
+// Tags returns every tag mentioned in the graph, sorted.
+func (g *Graph) Tags() []string {
+	set := map[string]bool{}
+	for t := range g.roots {
+		set[t] = true
+	}
+	for p, cs := range g.children {
+		set[p] = true
+		for c := range cs {
+			set[c] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRecursive reports whether the graph contains a cycle (a recursive
+// DTD, like XMark's parlist/listitem).
+func (g *Graph) IsRecursive() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(t string) bool
+	visit = func(t string) bool {
+		color[t] = gray
+		for c := range g.children[t] {
+			switch color[c] {
+			case gray:
+				return true
+			case white:
+				if visit(c) {
+					return true
+				}
+			}
+		}
+		color[t] = black
+		return false
+	}
+	for _, t := range g.Tags() {
+		if color[t] == white && visit(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanReach reports whether desc is reachable from anc by one or more
+// edges.
+func (g *Graph) CanReach(anc, desc string) bool {
+	seen := map[string]bool{}
+	var stack []string
+	for c := range g.children[anc] {
+		stack = append(stack, c)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if t == desc {
+			return true
+		}
+		for c := range g.children[t] {
+			if !seen[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// ChainsBetween enumerates every tag chain c1/…/ck with c1 a child of
+// anc, each c(i+1) a child of c(i), ck == desc, and k <= maxLen. This is
+// the unfolding of anc//desc: each chain, appended to the path ending at
+// anc, is one simple-path alternative. Chains are returned in
+// lexicographic order. maxChains caps the enumeration; exceeding it is an
+// error (the caller should fall back to a D-join).
+func (g *Graph) ChainsBetween(anc, desc string, maxLen, maxChains int) ([][]string, error) {
+	if maxLen <= 0 {
+		return nil, nil
+	}
+	var out [][]string
+	chain := make([]string, 0, maxLen)
+	var dfs func(cur string) error
+	dfs = func(cur string) error {
+		for _, c := range g.Children(cur) {
+			chain = append(chain, c)
+			if c == desc {
+				if len(out) >= maxChains {
+					chain = chain[:len(chain)-1]
+					return fmt.Errorf("schema: unfolding %s//%s exceeds %d chains", anc, desc, maxChains)
+				}
+				out = append(out, append([]string(nil), chain...))
+			}
+			if len(chain) < maxLen {
+				if err := dfs(c); err != nil {
+					chain = chain[:len(chain)-1]
+					return err
+				}
+			}
+			chain = chain[:len(chain)-1]
+		}
+		return nil
+	}
+	if err := dfs(anc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllChains enumerates every non-empty tag chain of length at most maxLen
+// starting below anc (the unfolding of anc//* or anc/*). Chains are
+// returned in depth-first lexicographic order; exceeding maxChains is an
+// error.
+func (g *Graph) AllChains(anc string, maxLen, maxChains int) ([][]string, error) {
+	if maxLen <= 0 {
+		return nil, nil
+	}
+	var out [][]string
+	chain := make([]string, 0, maxLen)
+	var dfs func(cur string) error
+	dfs = func(cur string) error {
+		for _, c := range g.Children(cur) {
+			chain = append(chain, c)
+			if len(out) >= maxChains {
+				chain = chain[:len(chain)-1]
+				return fmt.Errorf("schema: enumerating chains below %s exceeds %d", anc, maxChains)
+			}
+			out = append(out, append([]string(nil), chain...))
+			if len(chain) < maxLen {
+				if err := dfs(c); err != nil {
+					chain = chain[:len(chain)-1]
+					return err
+				}
+			}
+			chain = chain[:len(chain)-1]
+		}
+		return nil
+	}
+	if err := dfs(anc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PathsFromRoot enumerates every root-to-desc tag path of length at most
+// maxLen. It is the unfolding of a leading //desc step.
+func (g *Graph) PathsFromRoot(desc string, maxLen, maxChains int) ([][]string, error) {
+	var out [][]string
+	for _, r := range g.Roots() {
+		if r == desc {
+			out = append(out, []string{r})
+		}
+		chains, err := g.ChainsBetween(r, desc, maxLen-1, maxChains-len(out))
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range chains {
+			out = append(out, append([]string{r}, c...))
+		}
+	}
+	return out, nil
+}
+
+// FromTree extracts the schema graph of a document tree.
+func FromTree(root *xmltree.Node) *Graph {
+	g := New()
+	g.AddRoot(root.Tag)
+	var walk func(n *xmltree.Node, depth int)
+	walk = func(n *xmltree.Node, depth int) {
+		g.ObserveDepth(depth)
+		for _, c := range n.Children {
+			g.AddEdge(n.Tag, c.Tag)
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 1)
+	return g
+}
+
+// Marshal writes the graph in its text form:
+//
+//	depth <n>
+//	root <tag>
+//	edge <parent> <child>
+func (g *Graph) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "depth %d\n", g.maxDepth)
+	for _, r := range g.Roots() {
+		fmt.Fprintf(bw, "root %s\n", r)
+	}
+	for _, p := range sortedKeys(mapKeysToBool(g.children)) {
+		for _, c := range g.Children(p) {
+			fmt.Fprintf(bw, "edge %s %s\n", p, c)
+		}
+	}
+	return bw.Flush()
+}
+
+func mapKeysToBool(m map[string]map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Unmarshal reads the text form produced by Marshal.
+func Unmarshal(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "depth":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("schema: bad depth line %q", line)
+			}
+			var d int
+			if _, err := fmt.Sscanf(fields[1], "%d", &d); err != nil {
+				return nil, fmt.Errorf("schema: bad depth %q", fields[1])
+			}
+			g.ObserveDepth(d)
+		case "root":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("schema: bad root line %q", line)
+			}
+			g.AddRoot(fields[1])
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("schema: bad edge line %q", line)
+			}
+			g.AddEdge(fields[1], fields[2])
+		default:
+			return nil, fmt.Errorf("schema: unknown directive %q", fields[0])
+		}
+	}
+	return g, sc.Err()
+}

@@ -1,0 +1,222 @@
+package schema
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestBasicGraph(t *testing.T) {
+	g := New()
+	g.AddRoot("db")
+	g.AddEdge("db", "entry")
+	g.AddEdge("entry", "name")
+	g.AddEdge("entry", "ref")
+	g.ObserveDepth(3)
+
+	if got := g.Roots(); !reflect.DeepEqual(got, []string{"db"}) {
+		t.Fatalf("roots = %v", got)
+	}
+	if got := g.Children("entry"); !reflect.DeepEqual(got, []string{"name", "ref"}) {
+		t.Fatalf("children = %v", got)
+	}
+	if !g.HasEdge("db", "entry") || g.HasEdge("entry", "db") {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.MaxDepth() != 3 {
+		t.Fatalf("depth = %d", g.MaxDepth())
+	}
+	want := []string{"db", "entry", "name", "ref"}
+	if got := g.Tags(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tags = %v", got)
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	g := New()
+	g.AddRoot("a")
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	if g.IsRecursive() {
+		t.Fatal("acyclic graph reported recursive")
+	}
+	g.AddEdge("c", "b") // cycle b -> c -> b
+	if !g.IsRecursive() {
+		t.Fatal("cycle not detected")
+	}
+	// Self-loop.
+	g2 := New()
+	g2.AddEdge("x", "x")
+	if !g2.IsRecursive() {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "b") // cycle must not loop forever
+	if !g.CanReach("a", "c") {
+		t.Fatal("a should reach c")
+	}
+	if g.CanReach("c", "a") {
+		t.Fatal("c should not reach a")
+	}
+	if g.CanReach("a", "a") {
+		t.Fatal("a has no cycle to itself")
+	}
+	if !g.CanReach("b", "b") {
+		t.Fatal("b is on a cycle; b//b is reachable")
+	}
+}
+
+func TestChainsBetween(t *testing.T) {
+	// db -> entry -> {name, ref}; ref -> name
+	g := New()
+	g.AddRoot("db")
+	g.AddEdge("db", "entry")
+	g.AddEdge("entry", "name")
+	g.AddEdge("entry", "ref")
+	g.AddEdge("ref", "name")
+
+	chains, err := g.ChainsBetween("db", "name", 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"entry", "name"},
+		{"entry", "ref", "name"},
+	}
+	if !reflect.DeepEqual(chains, want) {
+		t.Fatalf("chains = %v", chains)
+	}
+
+	// Direct child chain has length 1.
+	chains, _ = g.ChainsBetween("entry", "name", 10, 100)
+	if len(chains) != 2 || len(chains[0]) != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+
+	// Length bound.
+	chains, _ = g.ChainsBetween("db", "name", 2, 100)
+	if len(chains) != 1 {
+		t.Fatalf("bounded chains = %v", chains)
+	}
+
+	// No path.
+	chains, _ = g.ChainsBetween("name", "db", 10, 100)
+	if len(chains) != 0 {
+		t.Fatalf("impossible chains = %v", chains)
+	}
+}
+
+func TestChainsBetweenRecursiveBounded(t *testing.T) {
+	// parlist -> listitem -> parlist (XMark-style recursion).
+	g := New()
+	g.AddEdge("desc", "parlist")
+	g.AddEdge("parlist", "listitem")
+	g.AddEdge("listitem", "parlist")
+	g.AddEdge("listitem", "text")
+
+	chains, err := g.ChainsBetween("desc", "text", 6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// parlist/listitem/text (3), parlist/listitem/parlist/listitem/text (5)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	for _, c := range chains {
+		if len(c) > 6 {
+			t.Fatalf("chain too long: %v", c)
+		}
+	}
+}
+
+func TestChainsCapExceeded(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a") // infinite chains a, aa, aaa...
+	if _, err := g.ChainsBetween("a", "a", 50, 10); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestPathsFromRoot(t *testing.T) {
+	g := New()
+	g.AddRoot("db")
+	g.AddEdge("db", "entry")
+	g.AddEdge("entry", "name")
+	paths, err := g.PathsFromRoot("name", 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || strings.Join(paths[0], "/") != "db/entry/name" {
+		t.Fatalf("paths = %v", paths)
+	}
+	// Root itself.
+	paths, _ = g.PathsFromRoot("db", 5, 100)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("root path = %v", paths)
+	}
+}
+
+func TestFromTree(t *testing.T) {
+	doc, err := xmltree.ParseString(`<db><entry id="1"><name>x</name></entry><entry><ref><name/></ref></entry></db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromTree(doc)
+	if !reflect.DeepEqual(g.Roots(), []string{"db"}) {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+	if !g.HasEdge("entry", "@id") {
+		t.Fatal("attribute edge missing")
+	}
+	if !g.HasEdge("ref", "name") || !g.HasEdge("entry", "name") {
+		t.Fatal("edges missing")
+	}
+	if g.MaxDepth() != 4 { // db/entry/ref/name
+		t.Fatalf("depth = %d", g.MaxDepth())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	g := New()
+	g.AddRoot("db")
+	g.AddEdge("db", "entry")
+	g.AddEdge("entry", "name")
+	g.ObserveDepth(7)
+
+	var buf bytes.Buffer
+	if err := g.Marshal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.Roots(), g.Roots()) ||
+		!reflect.DeepEqual(g2.Tags(), g.Tags()) ||
+		g2.MaxDepth() != g.MaxDepth() ||
+		!g2.HasEdge("entry", "name") {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"bogus line here",
+		"depth notanumber",
+		"root",
+		"edge onlyone",
+	}
+	for _, s := range bad {
+		if _, err := Unmarshal(strings.NewReader(s)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package sqlgen renders translated plans as SQL statements and as
+// relational algebra expressions (the paper presents its generated
+// queries both ways; Fig. 11 uses algebra "to conserve space").
+//
+// The SQL dialect is plain SQL-92 over the two relations the index
+// generator produces:
+//
+//	SP(plabel, start, end, level, data)   — clustered {plabel, start}
+//	SD(tag, start, end, level, data)      — clustered {tag, start}
+//
+// Each plan fragment becomes one aliased relation in the FROM clause with
+// its selection predicates; each D-join contributes interval-containment
+// and level predicates.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/translate"
+)
+
+// SQL renders the plan as a SQL SELECT statement.
+func SQL(p *translate.Plan) string {
+	var b strings.Builder
+	ret := alias(p.Return)
+	fmt.Fprintf(&b, "SELECT DISTINCT %s.start, %s.\"end\", %s.level, %s.data\nFROM ", ret, ret, ret, ret)
+	for i, f := range p.Fragments {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", relationOf(f), alias(f.ID))
+	}
+	var preds []string
+	for _, f := range p.Fragments {
+		preds = append(preds, fragmentPreds(f)...)
+	}
+	for _, j := range p.Joins {
+		preds = append(preds, joinPreds(j)...)
+	}
+	if len(preds) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(preds, "\n  AND "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+func alias(id int) string { return fmt.Sprintf("T%d", id+1) }
+
+func relationOf(f *translate.Fragment) string {
+	switch f.Access.Kind {
+	case translate.AccessTag, translate.AccessAll:
+		return "SD"
+	default:
+		return "SP"
+	}
+}
+
+func fragmentPreds(f *translate.Fragment) []string {
+	a := alias(f.ID)
+	var preds []string
+	switch f.Access.Kind {
+	case translate.AccessPLabelEq:
+		preds = append(preds, fmt.Sprintf("%s.plabel = %s", a, f.Access.Range.Lo))
+	case translate.AccessPLabelRange:
+		preds = append(preds, fmt.Sprintf("%s.plabel >= %s", a, f.Access.Range.Lo))
+		preds = append(preds, fmt.Sprintf("%s.plabel <= %s", a, f.Access.Range.Hi))
+	case translate.AccessPLabelSet:
+		vals := make([]string, len(f.Access.Labels))
+		for i, l := range f.Access.Labels {
+			vals[i] = l.String()
+		}
+		preds = append(preds, fmt.Sprintf("%s.plabel IN (%s)", a, strings.Join(vals, ", ")))
+	case translate.AccessTag:
+		preds = append(preds, fmt.Sprintf("%s.tag = %s", a, quote(f.Access.Tag)))
+	case translate.AccessAll:
+		preds = append(preds, fmt.Sprintf("%s.tag NOT LIKE '@%%'", a))
+	}
+	if f.Value != nil {
+		preds = append(preds, fmt.Sprintf("%s.data = %s", a, quote(*f.Value)))
+	}
+	if f.LevelEq != 0 {
+		preds = append(preds, fmt.Sprintf("%s.level = %d", a, f.LevelEq))
+	}
+	if f.Empty {
+		preds = append(preds, "1 = 0 /* unsatisfiable fragment */")
+	}
+	return preds
+}
+
+func joinPreds(j translate.Join) []string {
+	a, d := alias(j.Anc), alias(j.Desc)
+	preds := []string{
+		fmt.Sprintf("%s.start < %s.start", a, d),
+		fmt.Sprintf("%s.\"end\" > %s.\"end\"", a, d),
+	}
+	switch {
+	case j.Exact:
+		preds = append(preds, fmt.Sprintf("%s.level = %s.level - %d", a, d, j.Gap))
+	case j.Gap > 1:
+		preds = append(preds, fmt.Sprintf("%s.level <= %s.level - %d", a, d, j.Gap))
+	}
+	return preds
+}
+
+func quote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// Algebra renders the plan as a relational algebra expression in the
+// style of the paper's Fig. 11.
+func Algebra(p *translate.Plan) string {
+	var b strings.Builder
+	ret := alias(p.Return)
+	fmt.Fprintf(&b, "π_%s.start(\n", ret)
+	for i, f := range p.Fragments {
+		if i > 0 {
+			j := joinFor(p, f.ID)
+			fmt.Fprintf(&b, "  ⋈_{%s}\n", algebraJoinCond(j))
+		}
+		fmt.Fprintf(&b, "  ρ(%s, σ_{%s}(%s))\n", alias(f.ID), algebraSel(f), relationOf(f))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// joinFor finds the join whose descendant is fragment id (fragments
+// other than the first are each the descendant of exactly one join).
+func joinFor(p *translate.Plan, id int) translate.Join {
+	for _, j := range p.Joins {
+		if j.Desc == id {
+			return j
+		}
+	}
+	return translate.Join{Anc: -1, Desc: id}
+}
+
+func algebraSel(f *translate.Fragment) string {
+	var parts []string
+	switch f.Access.Kind {
+	case translate.AccessPLabelEq:
+		parts = append(parts, fmt.Sprintf("plabel=%s", f.Access.Range.Lo))
+	case translate.AccessPLabelRange:
+		parts = append(parts, fmt.Sprintf("plabel≥%s ∧ plabel≤%s", f.Access.Range.Lo, f.Access.Range.Hi))
+	case translate.AccessPLabelSet:
+		vals := make([]string, len(f.Access.Labels))
+		for i, l := range f.Access.Labels {
+			vals[i] = l.String()
+		}
+		parts = append(parts, fmt.Sprintf("plabel∈{%s}", strings.Join(vals, ",")))
+	case translate.AccessTag:
+		parts = append(parts, fmt.Sprintf("tag='%s'", f.Access.Tag))
+	case translate.AccessAll:
+		parts = append(parts, "element")
+	}
+	if f.Value != nil {
+		parts = append(parts, fmt.Sprintf("data='%s'", *f.Value))
+	}
+	if f.LevelEq != 0 {
+		parts = append(parts, fmt.Sprintf("level=%d", f.LevelEq))
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+func algebraJoinCond(j translate.Join) string {
+	if j.Anc < 0 {
+		return "⊥"
+	}
+	a, d := alias(j.Anc), alias(j.Desc)
+	cond := fmt.Sprintf("%s.start<%s.start ∧ %s.end>%s.end", a, d, a, d)
+	switch {
+	case j.Exact:
+		cond += fmt.Sprintf(" ∧ %s.level=%s.level-%d", a, d, j.Gap)
+	case j.Gap > 1:
+		cond += fmt.Sprintf(" ∧ %s.level≤%s.level-%d", a, d, j.Gap)
+	}
+	return cond
+}

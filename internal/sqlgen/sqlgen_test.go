@@ -1,0 +1,147 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plabel"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/xpath"
+)
+
+func testCtx(t *testing.T) translate.Context {
+	t.Helper()
+	tags := []string{"PLAYS", "PLAY", "ACT", "SCENE", "TITLE", "SPEECH", "LINE"}
+	s, err := plabel.NewScheme(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := schema.New()
+	g.AddRoot("PLAYS")
+	for _, e := range [][2]string{
+		{"PLAYS", "PLAY"}, {"PLAY", "ACT"}, {"ACT", "SCENE"},
+		{"SCENE", "TITLE"}, {"SCENE", "SPEECH"}, {"SPEECH", "LINE"},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.ObserveDepth(7)
+	return translate.Context{Scheme: s, Schema: g}
+}
+
+const qs3 = `/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`
+
+func TestSQLShapes(t *testing.T) {
+	ctx := testCtx(t)
+	q := xpath.MustParse(qs3)
+
+	base, err := translate.Baseline(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := SQL(base)
+	// Six relations, tag predicates, a level=1 pin on the root.
+	if got := strings.Count(sql, "SD T"); got != 6 {
+		t.Fatalf("baseline FROM count = %d\n%s", got, sql)
+	}
+	for _, want := range []string{"T1.tag = 'PLAYS'", "T1.level = 1", "T5.data = 'SCENE III. A public place.'", "T1.start < T2.start"} {
+		if !strings.Contains(sql, want) {
+			t.Fatalf("baseline SQL missing %q:\n%s", want, sql)
+		}
+	}
+
+	split, err := translate.Split(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql = SQL(split)
+	if got := strings.Count(sql, "SP T"); got != 3 {
+		t.Fatalf("split FROM count = %d\n%s", got, sql)
+	}
+	// One equality, one range pair, plus the TITLE range.
+	if strings.Count(sql, ".plabel = ") != 1 {
+		t.Fatalf("split equality count wrong:\n%s", sql)
+	}
+	if strings.Count(sql, ".plabel >= ") != 2 {
+		t.Fatalf("split range count wrong:\n%s", sql)
+	}
+	// Child-edge cut keeps the level arithmetic the paper shows.
+	if !strings.Contains(sql, "T1.level = T2.level - 1") {
+		t.Fatalf("split SQL missing level predicate:\n%s", sql)
+	}
+
+	unfold, err := translate.Unfold(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql = SQL(unfold)
+	if strings.Count(sql, ".plabel = ") != 3 {
+		t.Fatalf("unfold should be three equality selections:\n%s", sql)
+	}
+	if strings.Contains(sql, ".plabel >= ") {
+		t.Fatalf("unfold should have no range selections:\n%s", sql)
+	}
+}
+
+func TestSQLEscapesQuotes(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := translate.Split(ctx, xpath.MustParse(`//TITLE="O'Neil"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := SQL(p)
+	if !strings.Contains(sql, "'O''Neil'") {
+		t.Fatalf("quote not escaped:\n%s", sql)
+	}
+}
+
+func TestSQLPLabelSet(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := translate.Unfold(ctx, xpath.MustParse("/PLAYS/PLAY/ACT/SCENE/*"))
+	if err == nil {
+		sql := SQL(p)
+		if !strings.Contains(sql, "IN (") {
+			t.Fatalf("set fragment should render as IN:\n%s", sql)
+		}
+	}
+}
+
+func TestAlgebraShape(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := translate.PushUp(ctx, xpath.MustParse(qs3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := Algebra(p)
+	for _, want := range []string{"π_T3.start", "ρ(T1", "⋈_{", "T1.level=T2.level-1"} {
+		if !strings.Contains(alg, want) {
+			t.Fatalf("algebra missing %q:\n%s", want, alg)
+		}
+	}
+}
+
+func TestEmptyFragmentMarked(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := translate.Split(ctx, xpath.MustParse("/PLAYS/NOPE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(SQL(p), "1 = 0") {
+		t.Fatal("unsatisfiable fragment not marked")
+	}
+}
+
+func TestSingleFragmentNoJoins(t *testing.T) {
+	ctx := testCtx(t)
+	p, err := translate.Split(ctx, xpath.MustParse("/PLAYS/PLAY/ACT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := SQL(p)
+	if strings.Contains(sql, "T2") {
+		t.Fatalf("suffix path should use one relation:\n%s", sql)
+	}
+	if !strings.Contains(sql, "T1.plabel = ") {
+		t.Fatalf("absolute path should be an equality:\n%s", sql)
+	}
+}

@@ -1,0 +1,59 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/xpath"
+)
+
+// Baseline translates a query the way a pure D-labeling system does
+// (paper §1, §5): every query-tree node becomes a tag selection over the
+// SD relation, and every query-tree edge becomes a D-join. A query with
+// l tags costs l-1 joins.
+func Baseline(ctx Context, q xpath.Query) (*Plan, error) {
+	if q.Root == nil {
+		return nil, fmt.Errorf("translate: empty query")
+	}
+	p := newPlan("dlabel", q)
+	// The clone inside the plan is the tree we walk, so node identity is
+	// stable for locating the return node.
+	retNode := p.Source.Return()
+
+	var emit func(n *xpath.Node, anc int) error
+	emit = func(n *xpath.Node, anc int) error {
+		f := &Fragment{Value: n.Value}
+		if n.IsWildcard() {
+			f.Access = Access{Kind: AccessAll}
+		} else {
+			digit, ok := ctx.Scheme.TagDigit(n.Tag)
+			if !ok {
+				f.Empty = true
+			}
+			f.Access = Access{Kind: AccessTag, TagID: uint32(digit), Tag: n.Tag}
+		}
+		if anc < 0 && n.Axis == xpath.Child {
+			// A leading "/" pins the root element: level 1.
+			f.LevelEq = 1
+		}
+		id := p.addFragment(f)
+		if anc >= 0 {
+			p.Joins = append(p.Joins, Join{Anc: anc, Desc: id, Gap: 1, Exact: n.Axis == xpath.Child})
+		}
+		if n == retNode {
+			p.Return = id
+		}
+		for _, b := range n.Branches {
+			if err := emit(b, id); err != nil {
+				return err
+			}
+		}
+		if n.Next != nil {
+			return emit(n.Next, id)
+		}
+		return nil
+	}
+	if err := emit(p.Source.Root, -1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

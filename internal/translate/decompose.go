@@ -1,0 +1,184 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/plabel"
+	"repro/internal/xpath"
+)
+
+// Split implements the paper's Algorithms 3+4: descendant-axis
+// elimination cuts the query tree at every interior // edge, branch
+// elimination cuts it at every branching point; each resulting piece is a
+// suffix path query (leading // for every non-root piece) evaluated as a
+// single P-label range selection, and pieces are recombined with D-joins
+// that carry level-gap constraints for child-edge cuts.
+func Split(ctx Context, q xpath.Query) (*Plan, error) {
+	return decompose(ctx, q, false, "split")
+}
+
+// PushUp implements the paper's Algorithm 5: like Split, but at each
+// branching point the path from the root of the current //-section is
+// pushed into the child pieces, making the selections as specific as
+// possible (a piece anchored at the document root becomes an equality
+// selection).
+func PushUp(ctx Context, q xpath.Query) (*Plan, error) {
+	return decompose(ctx, q, true, "pushup")
+}
+
+func decompose(ctx Context, q xpath.Query, pushUp bool, name string) (*Plan, error) {
+	if q.Root == nil {
+		return nil, fmt.Errorf("translate: empty query")
+	}
+	p := newPlan(name, q)
+	d := &decomposer{ctx: ctx, plan: p, pushUp: pushUp, ret: p.Source.Return()}
+	root := p.Source.Root
+	err := d.emit(root, cut{
+		axis:     root.Axis,
+		anc:      -1,
+		gapExtra: 0,
+		allChild: root.Axis == xpath.Child,
+	}, nil, root.Axis == xpath.Child)
+	if err != nil {
+		return nil, err
+	}
+	if !d.retSeen {
+		return nil, fmt.Errorf("translate: internal error: return node not assigned a fragment")
+	}
+	return p, nil
+}
+
+type decomposer struct {
+	ctx     Context
+	plan    *Plan
+	pushUp  bool
+	ret     *xpath.Node
+	retSeen bool
+}
+
+// cut describes the edge over which a fragment is reached.
+type cut struct {
+	axis     xpath.Axis // axis of the final edge into the fragment's first node
+	anc      int        // anchor fragment id; -1 for the query root
+	gapExtra int        // edges skipped over elided wildcard steps
+	allChild bool       // every edge from the anchor to the first node is a child edge
+}
+
+// emit creates the fragment starting at n and recurses into the cuts
+// below it. For Push-up, prefix carries the tag path from the root of the
+// current //-section, and prefixAbs says whether that path is anchored at
+// the document root.
+func (d *decomposer) emit(n *xpath.Node, c cut, prefix []string, prefixAbs bool) error {
+	isRoot := c.anc < 0
+	if !isRoot && (c.axis == xpath.Descendant || c.gapExtra > 0) {
+		// Prefixes never cross a descendant cut (paper §4.1.2: descendant
+		// elimination runs before push-up branch elimination) nor an
+		// elided wildcard stretch.
+		prefix, prefixAbs = nil, false
+	}
+
+	// Collect the chain of consecutive child steps rooted at n. A chain
+	// ends at a value predicate, a branching point, a descendant edge, a
+	// wildcard, or the end of the path.
+	chain := []*xpath.Node{n}
+	leaf := n
+	if !n.IsWildcard() {
+		for leaf.Value == nil && len(leaf.Branches) == 0 &&
+			leaf.Next != nil && leaf.Next.Axis == xpath.Child &&
+			!leaf.Next.IsWildcard() {
+			leaf = leaf.Next
+			chain = append(chain, leaf)
+		}
+	}
+
+	// Build the fragment.
+	f := &Fragment{Value: leaf.Value}
+	if n.IsWildcard() {
+		f.Access = Access{Kind: AccessAll}
+		if isRoot && c.axis == xpath.Child {
+			f.LevelEq = 1
+		}
+	} else {
+		var tags []string
+		abs := false
+		if d.pushUp {
+			tags = append(tags, prefix...)
+			abs = prefixAbs
+		}
+		for _, cn := range chain {
+			tags = append(tags, cn.Tag)
+		}
+		if isRoot {
+			abs = c.axis == xpath.Child
+		}
+		query := plabel.Query{Absolute: abs, Tags: tags}
+		rng, err := d.ctx.Scheme.QueryRange(query)
+		if err != nil {
+			return err
+		}
+		kind := AccessPLabelRange
+		if rng.Exact {
+			kind = AccessPLabelEq
+		}
+		f.Access = Access{Kind: kind, Range: rng, Query: query}
+		f.Empty = rng.Empty
+	}
+	id := d.plan.addFragment(f)
+	if !isRoot {
+		d.plan.Joins = append(d.plan.Joins, Join{
+			Anc:   c.anc,
+			Desc:  id,
+			Gap:   c.gapExtra + len(chain),
+			Exact: c.allChild,
+		})
+	}
+	if leaf == d.ret {
+		d.plan.Return = id
+		d.retSeen = true
+	}
+
+	// The tag path of this fragment extends the prefix of its child cuts.
+	var childPrefix []string
+	childAbs := false
+	if d.pushUp && !n.IsWildcard() {
+		childPrefix = append(append([]string(nil), prefix...), tagsOf(chain)...)
+		childAbs = prefixAbs
+		if isRoot {
+			childAbs = c.axis == xpath.Child
+		}
+	}
+
+	// Recurse into the cuts: the leaf's branches and its continuation.
+	for _, br := range leaf.Branches {
+		if err := d.emitCut(br, id, childPrefix, childAbs); err != nil {
+			return err
+		}
+	}
+	if leaf.Next != nil {
+		return d.emitCut(leaf.Next, id, childPrefix, childAbs)
+	}
+	return nil
+}
+
+func tagsOf(chain []*xpath.Node) []string {
+	out := make([]string, len(chain))
+	for i, c := range chain {
+		out[i] = c.Tag
+	}
+	return out
+}
+
+// emitCut handles one cut edge from fragment anc to the subtree rooted at
+// n. Wildcard steps that bind nothing (no value, no branches, not the
+// return node, not a path end) are elided: /a/*/b needs no fragment for
+// *, only a level gap of 2 on the a-b join.
+func (d *decomposer) emitCut(n *xpath.Node, anc int, prefix []string, prefixAbs bool) error {
+	c := cut{axis: n.Axis, anc: anc, allChild: n.Axis == xpath.Child}
+	for n.IsWildcard() && n.Value == nil && len(n.Branches) == 0 && n != d.ret && n.Next != nil {
+		n = n.Next
+		c.gapExtra++
+		c.axis = n.Axis
+		c.allChild = c.allChild && n.Axis == xpath.Child
+	}
+	return d.emit(n, c, prefix, prefixAbs)
+}

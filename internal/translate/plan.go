@@ -1,0 +1,256 @@
+// Package translate turns XPath query trees into logical query plans over
+// the BLAS relations, implementing the paper's four strategies:
+//
+//	Baseline — the pure D-labeling approach (§1, §5): one tag scan per
+//	          query node, one D-join per query edge.
+//	Split   — Algorithms 3+4 (§4.1.1): cut the query tree at descendant
+//	          edges and branch points; each piece is a suffix path query
+//	          answered by one P-label range selection; pieces are
+//	          recombined with D-joins.
+//	Push-up — Algorithm 5 (§4.1.2): like Split, but each piece is
+//	          prefixed with the full path from the root of its
+//	          //-section, making selections more specific (absolute
+//	          pieces become equality selections).
+//	Unfold  — §4.1.3: with schema information, interior descendant axes
+//	          and wildcards are unfolded into unions of simple paths, so
+//	          only branch-point joins remain and every selection is an
+//	          equality.
+//
+// A plan is a set of fragments (each one selection over SP or SD, plus
+// optional value predicate) and a set of structural joins between
+// fragment bindings. Both query engines (relational and holistic twig
+// join) execute these plans; sqlgen renders them as SQL.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plabel"
+	"repro/internal/schema"
+	"repro/internal/uint128"
+	"repro/internal/xpath"
+)
+
+// Context supplies what the translators need from a store.
+type Context struct {
+	Scheme *plabel.Scheme
+	Schema *schema.Graph // nil disables Unfold
+	// MaxUnfoldPaths caps schema-based path enumeration; 0 selects
+	// DefaultMaxUnfoldPaths.
+	MaxUnfoldPaths int
+}
+
+// DefaultMaxUnfoldPaths caps the number of simple paths one fragment may
+// unfold into before Unfold falls back to a D-join.
+const DefaultMaxUnfoldPaths = 512
+
+// AccessKind says how a fragment's records are obtained.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessPLabelRange AccessKind = iota // range selection on SP.plabel
+	AccessPLabelEq                      // equality selection on SP.plabel
+	AccessPLabelSet                     // union of equality selections (Unfold)
+	AccessTag                           // tag selection on SD (baseline)
+	AccessAll                           // every element node (wildcard)
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessPLabelRange:
+		return "plabel-range"
+	case AccessPLabelEq:
+		return "plabel-eq"
+	case AccessPLabelSet:
+		return "plabel-set"
+	case AccessTag:
+		return "tag"
+	default:
+		return "all"
+	}
+}
+
+// Access describes one fragment's selection.
+type Access struct {
+	Kind AccessKind
+
+	// AccessPLabelRange / AccessPLabelEq:
+	Range plabel.Range // the P-label interval (Lo==Hi semantics for Eq)
+	Query plabel.Query // provenance: the suffix path this selects
+
+	// AccessPLabelSet:
+	Labels []uint128.Uint128 // sorted, deduplicated exact labels
+	Paths  [][]string        // provenance: one absolute path per label
+
+	// AccessTag:
+	TagID uint32
+	Tag   string
+}
+
+// Fragment is one evaluation unit: a selection plus local predicates.
+// Its bindings are the records matching the selection.
+type Fragment struct {
+	ID      int
+	Access  Access
+	Value   *string // data = *Value on the fragment's binding
+	LevelEq uint16  // non-zero: binding.level must equal this (baseline root)
+	// Empty marks a fragment that can bind nothing (unknown tag or
+	// impossible path); the whole plan's result is then empty.
+	Empty bool
+}
+
+// Join is a structural (D-) join between two fragments' bindings:
+// anc.start < desc.start && anc.end > desc.end, plus a level constraint.
+type Join struct {
+	Anc, Desc int // fragment IDs
+	// Gap is the required level difference desc.level - anc.level.
+	// Exact: difference == Gap. !Exact: difference >= Gap (Gap <= 1 is
+	// then plain containment).
+	Gap   int
+	Exact bool
+}
+
+// Plan is a translated query.
+type Plan struct {
+	Translator string
+	Source     xpath.Query
+	Fragments  []*Fragment
+	Joins      []Join
+	Return     int    // fragment whose bindings are the query result
+	Note       string // non-empty: a degradation note (e.g. Unfold fallback)
+}
+
+// LevelOK checks the join's level constraint for an (ancestor,
+// descendant) pair that already satisfies interval containment.
+func (j Join) LevelOK(ancLevel, descLevel uint16) bool {
+	diff := int(descLevel) - int(ancLevel)
+	if j.Exact {
+		return diff == j.Gap
+	}
+	min := j.Gap
+	if min < 1 {
+		min = 1
+	}
+	return diff >= min
+}
+
+// NumJoins returns the number of D-joins (the paper's headline cost).
+func (p *Plan) NumJoins() int { return len(p.Joins) }
+
+// Empty reports whether the plan is statically empty.
+func (p *Plan) Empty() bool {
+	for _, f := range p.Fragments {
+		if f.Empty {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectionKinds counts equality and range selections (paper §5.2.2
+// compares translators by exactly this). A plabel-set counts one equality
+// per member path.
+func (p *Plan) SelectionKinds() (eq, rng int) {
+	for _, f := range p.Fragments {
+		switch f.Access.Kind {
+		case AccessPLabelEq:
+			eq++
+		case AccessPLabelSet:
+			eq += len(f.Access.Labels)
+		case AccessPLabelRange:
+			rng++
+		case AccessTag, AccessAll:
+			// Baseline tag selections are equality predicates on tag.
+			eq++
+		}
+	}
+	return eq, rng
+}
+
+// Fragment returns the fragment with the given id.
+func (p *Plan) Fragment(id int) *Fragment { return p.Fragments[id] }
+
+// String renders a compact human-readable plan description.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan[%s] %s\n", p.Translator, p.Source.String())
+	for _, f := range p.Fragments {
+		fmt.Fprintf(&b, "  F%d: %s", f.ID, f.Access.describe())
+		if f.Value != nil {
+			fmt.Fprintf(&b, " [data=%q]", *f.Value)
+		}
+		if f.LevelEq != 0 {
+			fmt.Fprintf(&b, " [level=%d]", f.LevelEq)
+		}
+		if f.Empty {
+			b.WriteString(" [empty]")
+		}
+		if f.ID == p.Return {
+			b.WriteString(" -> return")
+		}
+		b.WriteString("\n")
+	}
+	for _, j := range p.Joins {
+		op := ">="
+		if j.Exact {
+			op = "=="
+		}
+		fmt.Fprintf(&b, "  F%d contains F%d (level gap %s %d)\n", j.Anc, j.Desc, op, j.Gap)
+	}
+	return b.String()
+}
+
+func (a Access) describe() string {
+	switch a.Kind {
+	case AccessPLabelRange:
+		return fmt.Sprintf("range %s in [%s,%s]", a.Query, a.Range.Lo, a.Range.Hi)
+	case AccessPLabelEq:
+		return fmt.Sprintf("eq %s = %s", a.Query, a.Range.Lo)
+	case AccessPLabelSet:
+		parts := make([]string, len(a.Paths))
+		for i, p := range a.Paths {
+			parts[i] = "/" + strings.Join(p, "/")
+		}
+		return fmt.Sprintf("set {%s}", strings.Join(parts, ", "))
+	case AccessTag:
+		return fmt.Sprintf("tag %s", a.Tag)
+	default:
+		return "all-elements"
+	}
+}
+
+// newPlan allocates an empty plan.
+func newPlan(name string, q xpath.Query) *Plan {
+	return &Plan{Translator: name, Source: q.Clone()}
+}
+
+// addFragment appends a fragment and returns its id.
+func (p *Plan) addFragment(f *Fragment) int {
+	f.ID = len(p.Fragments)
+	p.Fragments = append(p.Fragments, f)
+	return f.ID
+}
+
+// Translator is a named translation strategy.
+type Translator func(ctx Context, q xpath.Query) (*Plan, error)
+
+// ByName returns the translator with the given name: "dlabel" (baseline),
+// "split", "pushup" or "unfold".
+func ByName(name string) (Translator, error) {
+	switch strings.ToLower(name) {
+	case "dlabel", "baseline", "d-labeling":
+		return Baseline, nil
+	case "split":
+		return Split, nil
+	case "pushup", "push-up":
+		return PushUp, nil
+	case "unfold":
+		return Unfold, nil
+	}
+	return nil, fmt.Errorf("translate: unknown translator %q", name)
+}
+
+// Names lists the translator names in the paper's comparison order.
+func Names() []string { return []string{"dlabel", "split", "pushup", "unfold"} }

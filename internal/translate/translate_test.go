@@ -1,0 +1,405 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plabel"
+	"repro/internal/schema"
+	"repro/internal/xpath"
+)
+
+// Shakespeare-shaped scheme and schema for the paper's QS3 example.
+func shakespeareCtx(t *testing.T) Context {
+	t.Helper()
+	tags := []string{"PLAYS", "PLAY", "ACT", "SCENE", "TITLE", "SPEECH", "LINE", "SPEAKER", "STAGEDIR", "EPILOGUE"}
+	s, err := plabel.NewScheme(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := schema.New()
+	g.AddRoot("PLAYS")
+	edges := [][2]string{
+		{"PLAYS", "PLAY"}, {"PLAY", "TITLE"}, {"PLAY", "ACT"}, {"PLAY", "EPILOGUE"},
+		{"ACT", "TITLE"}, {"ACT", "SCENE"},
+		{"SCENE", "TITLE"}, {"SCENE", "SPEECH"}, {"SCENE", "STAGEDIR"},
+		{"SPEECH", "SPEAKER"}, {"SPEECH", "LINE"}, {"SPEECH", "STAGEDIR"},
+		{"EPILOGUE", "TITLE"}, {"EPILOGUE", "LINE"}, {"LINE", "STAGEDIR"},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	g.ObserveDepth(7)
+	return Context{Scheme: s, Schema: g}
+}
+
+const qs3 = `/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`
+
+func mustPlan(t *testing.T, tr Translator, ctx Context, q string) *Plan {
+	t.Helper()
+	p, err := tr(ctx, xpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("translate %s: %v", q, err)
+	}
+	return p
+}
+
+// TestFigureElevenQS3 checks the plan shapes of Fig. 11: D-labeling needs
+// 5 D-joins for QS3; Split, Push-up and Unfold need 2. Split uses two
+// range and one equality selection, Push-up one range and two equality,
+// Unfold three equality.
+func TestFigureElevenQS3(t *testing.T) {
+	ctx := shakespeareCtx(t)
+
+	base := mustPlan(t, Baseline, ctx, qs3)
+	if base.NumJoins() != 5 {
+		t.Fatalf("baseline joins = %d, want 5", base.NumJoins())
+	}
+	if len(base.Fragments) != 6 {
+		t.Fatalf("baseline fragments = %d, want 6", len(base.Fragments))
+	}
+
+	split := mustPlan(t, Split, ctx, qs3)
+	if split.NumJoins() != 2 {
+		t.Fatalf("split joins = %d, want 2\n%s", split.NumJoins(), split)
+	}
+	eq, rng := split.SelectionKinds()
+	if eq != 1 || rng != 2 {
+		t.Fatalf("split selections = %d eq, %d range; want 1, 2\n%s", eq, rng, split)
+	}
+
+	push := mustPlan(t, PushUp, ctx, qs3)
+	if push.NumJoins() != 2 {
+		t.Fatalf("pushup joins = %d, want 2", push.NumJoins())
+	}
+	eq, rng = push.SelectionKinds()
+	if eq != 2 || rng != 1 {
+		t.Fatalf("pushup selections = %d eq, %d range; want 2, 1\n%s", eq, rng, push)
+	}
+
+	unfold := mustPlan(t, Unfold, ctx, qs3)
+	if unfold.Note != "" {
+		t.Fatalf("unfold fell back: %s", unfold.Note)
+	}
+	if unfold.NumJoins() != 2 {
+		t.Fatalf("unfold joins = %d, want 2\n%s", unfold.NumJoins(), unfold)
+	}
+	eq, rng = unfold.SelectionKinds()
+	if eq != 3 || rng != 0 {
+		t.Fatalf("unfold selections = %d eq, %d range; want 3, 0\n%s", eq, rng, unfold)
+	}
+}
+
+func TestSplitFragmentShapesQS3(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	p := mustPlan(t, Split, ctx, qs3)
+	if len(p.Fragments) != 3 {
+		t.Fatalf("fragments = %d\n%s", len(p.Fragments), p)
+	}
+	// Root: absolute simple path -> equality.
+	if p.Fragments[0].Access.Kind != AccessPLabelEq {
+		t.Fatalf("root access = %v", p.Fragments[0].Access.Kind)
+	}
+	if got := p.Fragments[0].Access.Query.String(); got != "/PLAYS/PLAY/ACT/SCENE" {
+		t.Fatalf("root query = %s", got)
+	}
+	// Branch: //TITLE with the value predicate.
+	title := p.Fragments[1]
+	if title.Access.Query.String() != "//TITLE" || title.Value == nil {
+		t.Fatalf("title fragment = %+v", title)
+	}
+	// Continuation: //LINE, the return fragment.
+	line := p.Fragments[2]
+	if line.Access.Query.String() != "//LINE" || p.Return != line.ID {
+		t.Fatalf("line fragment = %+v, return = %d", line, p.Return)
+	}
+	// Joins: SCENE->TITLE exact gap 1; SCENE->LINE min gap 1.
+	j0, j1 := p.Joins[0], p.Joins[1]
+	if !(j0.Anc == 0 && j0.Desc == 1 && j0.Gap == 1 && j0.Exact) {
+		t.Fatalf("join 0 = %+v", j0)
+	}
+	if !(j1.Anc == 0 && j1.Desc == 2 && j1.Gap == 1 && !j1.Exact) {
+		t.Fatalf("join 1 = %+v", j1)
+	}
+}
+
+func TestPushUpPrefixesQS3(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	p := mustPlan(t, PushUp, ctx, qs3)
+	// The TITLE branch is pushed up to the full path.
+	title := p.Fragments[1]
+	if title.Access.Query.String() != "/PLAYS/PLAY/ACT/SCENE/TITLE" {
+		t.Fatalf("title query = %s", title.Access.Query)
+	}
+	if title.Access.Kind != AccessPLabelEq {
+		t.Fatalf("title access = %v", title.Access.Kind)
+	}
+	// The //LINE piece crossed a descendant cut: no prefix.
+	if p.Fragments[2].Access.Query.String() != "//LINE" {
+		t.Fatalf("line query = %s", p.Fragments[2].Access.Query)
+	}
+}
+
+func TestUnfoldEnumeratesLine(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	p := mustPlan(t, Unfold, ctx, qs3)
+	line := p.Fragments[2]
+	// SCENE//LINE unfolds to exactly SCENE/SPEECH/LINE under this schema.
+	if line.Access.Kind != AccessPLabelEq {
+		t.Fatalf("line access = %v\n%s", line.Access.Kind, p)
+	}
+	want := "PLAYS/PLAY/ACT/SCENE/SPEECH/LINE"
+	if got := strings.Join(line.Access.Paths[0], "/"); got != want {
+		t.Fatalf("line path = %s, want %s", got, want)
+	}
+	// Unfold joins carry exact gaps derived from path lengths.
+	for _, j := range p.Joins {
+		if !j.Exact {
+			t.Fatalf("unfold join not exact: %+v", j)
+		}
+	}
+}
+
+// The paper's running example Q (Fig. 2/3): l=9 tags, d=2, b=4.
+// Baseline: 8 joins. Split/Push-up: 6 joins (7 fragments). Unfold: 4.
+func TestPaperQueryJoinCounts(t *testing.T) {
+	tags := []string{"proteinDatabase", "proteinEntry", "protein", "name",
+		"classification", "superfamily", "reference", "refinfo", "authors",
+		"author", "year", "title", "citation"}
+	s, err := plabel.NewScheme(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := schema.New()
+	g.AddRoot("proteinDatabase")
+	for _, e := range [][2]string{
+		{"proteinDatabase", "proteinEntry"},
+		{"proteinEntry", "protein"}, {"proteinEntry", "reference"},
+		{"protein", "name"}, {"protein", "classification"},
+		{"classification", "superfamily"},
+		{"reference", "refinfo"},
+		{"refinfo", "authors"}, {"refinfo", "year"}, {"refinfo", "title"}, {"refinfo", "citation"},
+		{"authors", "author"},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.ObserveDepth(7)
+	ctx := Context{Scheme: s, Schema: g}
+
+	q := `/proteinDatabase/proteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`
+
+	base := mustPlan(t, Baseline, ctx, q)
+	if base.NumJoins() != 8 {
+		t.Fatalf("baseline joins = %d, want 8 (the paper's 'total of 8 joins')", base.NumJoins())
+	}
+	split := mustPlan(t, Split, ctx, q)
+	if split.NumJoins() != 6 || len(split.Fragments) != 7 {
+		t.Fatalf("split: %d joins, %d fragments; want 6, 7\n%s", split.NumJoins(), len(split.Fragments), split)
+	}
+	push := mustPlan(t, PushUp, ctx, q)
+	if push.NumJoins() != 6 {
+		t.Fatalf("pushup joins = %d, want 6", push.NumJoins())
+	}
+	unfold := mustPlan(t, Unfold, ctx, q)
+	if unfold.Note != "" {
+		t.Fatalf("unfold fell back: %s", unfold.Note)
+	}
+	// Unfold eliminates the joins caused by interior descendant axes on
+	// chains (protein//superfamily collapses into one equality fragment),
+	// but a descendant-axis *branch* (refinfo[//author=...]) still needs
+	// its semijoin — the predicate must be checked against some binding.
+	// So the count is the number of branch-point outgoing edges: 5 here,
+	// strictly below Split's 6 (= b+d) and the baseline's 8 (= l-1).
+	if unfold.NumJoins() != 5 {
+		t.Fatalf("unfold joins = %d, want 5\n%s", unfold.NumJoins(), unfold)
+	}
+	// §4.2's bound: split joins <= b + d.
+	query := xpath.MustParse(q)
+	b, d := query.CountBranchEdges(), query.CountDescendantEdges()
+	if split.NumJoins() > b+d {
+		t.Fatalf("split joins %d exceed b+d = %d", split.NumJoins(), b+d)
+	}
+	if base.NumJoins() != query.CountNodes()-1 {
+		t.Fatal("baseline join count must be l-1")
+	}
+}
+
+func TestSuffixPathSingleFragment(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	for _, q := range []string{"/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE", "//SPEECH/LINE", "//LINE"} {
+		for _, tr := range []Translator{Split, PushUp} {
+			p := mustPlan(t, tr, ctx, q)
+			if len(p.Fragments) != 1 || p.NumJoins() != 0 {
+				t.Fatalf("%s: %d fragments, %d joins\n%s", q, len(p.Fragments), p.NumJoins(), p)
+			}
+			if p.Return != 0 {
+				t.Fatalf("%s: return = %d", q, p.Return)
+			}
+		}
+	}
+	// Absolute suffix path is an equality selection; descendant-rooted is
+	// a range.
+	p := mustPlan(t, Split, ctx, "/PLAYS/PLAY")
+	if p.Fragments[0].Access.Kind != AccessPLabelEq {
+		t.Fatal("absolute suffix path should be an equality selection")
+	}
+	p = mustPlan(t, Split, ctx, "//PLAY")
+	if p.Fragments[0].Access.Kind != AccessPLabelRange {
+		t.Fatal("descendant-rooted suffix path should be a range selection")
+	}
+}
+
+func TestUnknownTagYieldsEmptyPlan(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	for _, tr := range []Translator{Baseline, Split, PushUp} {
+		p := mustPlan(t, tr, ctx, "/PLAYS/NOPE")
+		if !p.Empty() {
+			t.Fatalf("plan not empty: %s", p)
+		}
+	}
+	p := mustPlan(t, Unfold, ctx, "/PLAYS/NOPE")
+	if !p.Empty() {
+		t.Fatalf("unfold plan not empty: %s", p)
+	}
+}
+
+func TestWildcardElision(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	// /PLAYS/*/ACT: the * binds nothing and is elided; join gap 2 exact.
+	p := mustPlan(t, Split, ctx, "/PLAYS/*/ACT")
+	if len(p.Fragments) != 2 {
+		t.Fatalf("fragments = %d\n%s", len(p.Fragments), p)
+	}
+	j := p.Joins[0]
+	if !(j.Gap == 2 && j.Exact) {
+		t.Fatalf("join = %+v, want gap 2 exact", j)
+	}
+	// /PLAYS/* with * as return node: the wildcard must bind (All scan).
+	p = mustPlan(t, Split, ctx, "/PLAYS/*")
+	if len(p.Fragments) != 2 || p.Fragments[1].Access.Kind != AccessAll {
+		t.Fatalf("wildcard return plan: %s", p)
+	}
+	// //*//LINE: descendant edges around the wildcard: min gap 2.
+	p = mustPlan(t, Split, ctx, "//PLAY/*//LINE")
+	j = p.Joins[len(p.Joins)-1]
+	if j.Exact || j.Gap != 2 {
+		t.Fatalf("join = %+v, want min gap 2", j)
+	}
+}
+
+func TestUnfoldWildcard(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	// /PLAYS/PLAY/* unfolds to the three children of PLAY.
+	p := mustPlan(t, Unfold, ctx, "/PLAYS/PLAY/*")
+	ret := p.Fragments[p.Return]
+	if ret.Access.Kind != AccessPLabelSet || len(ret.Access.Labels) != 3 {
+		t.Fatalf("wildcard unfold: %s", p)
+	}
+}
+
+func TestUnfoldRequiresSchema(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	ctx.Schema = nil
+	if _, err := Unfold(ctx, xpath.MustParse("/PLAYS/PLAY")); err == nil {
+		t.Fatal("expected error without schema")
+	}
+}
+
+func TestUnfoldRecursiveSchemaBounded(t *testing.T) {
+	tags := []string{"site", "description", "parlist", "listitem", "text"}
+	s, _ := plabel.NewScheme(tags)
+	g := schema.New()
+	g.AddRoot("site")
+	g.AddEdge("site", "description")
+	g.AddEdge("description", "parlist")
+	g.AddEdge("parlist", "listitem")
+	g.AddEdge("listitem", "parlist")
+	g.AddEdge("listitem", "text")
+	g.ObserveDepth(8) // recursion unrolled to depth 8
+	ctx := Context{Scheme: s, Schema: g}
+
+	p := mustPlan(t, Unfold, ctx, "/site/description//listitem")
+	ret := p.Fragments[p.Return]
+	// listitem at depths 4, 6, 8: three unfolded paths.
+	if len(ret.Access.Labels) != 3 {
+		t.Fatalf("recursive unfold labels = %d\n%s", len(ret.Access.Labels), p)
+	}
+}
+
+func TestUnfoldFallbackOnExplosion(t *testing.T) {
+	tags := []string{"a", "b"}
+	s, _ := plabel.NewScheme(tags)
+	g := schema.New()
+	g.AddRoot("a")
+	g.AddEdge("a", "a")
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("b", "b")
+	g.ObserveDepth(30)
+	ctx := Context{Scheme: s, Schema: g, MaxUnfoldPaths: 16}
+
+	p := mustPlan(t, Unfold, ctx, "//a//b//a")
+	if p.Note == "" {
+		t.Fatalf("expected fallback note, got plan:\n%s", p)
+	}
+	if p.Translator != "unfold" {
+		t.Fatalf("translator = %s", p.Translator)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestValuePredicateOnReturn(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	p := mustPlan(t, PushUp, ctx, `//SPEECH/LINE="x"`)
+	ret := p.Fragments[p.Return]
+	if ret.Value == nil || *ret.Value != "x" {
+		t.Fatalf("value lost: %+v", ret)
+	}
+}
+
+func TestInteriorValueCutsFragment(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	// //ACT="x"/SCENE: the value binds to ACT, so ACT ends its fragment
+	// and SCENE joins with an exact gap of 1.
+	p := mustPlan(t, Split, ctx, `//ACT="x"/SCENE`)
+	if len(p.Fragments) != 2 {
+		t.Fatalf("fragments = %d\n%s", len(p.Fragments), p)
+	}
+	if p.Fragments[0].Value == nil {
+		t.Fatal("ACT fragment lost its value")
+	}
+	j := p.Joins[0]
+	if !(j.Gap == 1 && j.Exact) {
+		t.Fatalf("join = %+v", j)
+	}
+}
+
+func TestBranchOnReturnNode(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	p := mustPlan(t, PushUp, ctx, "/PLAYS/PLAY/ACT[TITLE]")
+	// Return is ACT (fragment 0); TITLE is a branch fragment.
+	if p.Return != 0 || len(p.Fragments) != 2 {
+		t.Fatalf("plan: %s", p)
+	}
+}
+
+func TestDeepBranchNesting(t *testing.T) {
+	ctx := shakespeareCtx(t)
+	q := `/PLAYS/PLAY[ACT[SCENE[TITLE="x"]]/SCENE]/TITLE`
+	for _, tr := range []Translator{Baseline, Split, PushUp, Unfold} {
+		p := mustPlan(t, tr, ctx, q)
+		if p.Return < 0 || p.Return >= len(p.Fragments) {
+			t.Fatalf("bad return fragment: %s", p)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package twig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enginetest"
+	"repro/internal/relengine"
+	"repro/internal/translate"
+	"repro/internal/xpath"
+)
+
+// TestManyLeavesSharedPrefix exercises the path-solution merge with
+// three and four leaves hanging off nested branch points: the
+// shared-prefix hash join must key on progressively longer prefixes.
+func TestManyLeavesSharedPrefix(t *testing.T) {
+	doc := `<db>
+	  <rec><a>1</a><b>2</b><c>3</c><d><e>4</e><f>5</f></d></rec>
+	  <rec><a>1</a><b>2</b><d><e>4</e></d></rec>
+	  <rec><b>2</b><c>3</c><d><f>5</f></d></rec>
+	  <rec><a>1</a><b>2</b><c>3</c><d><e>4</e><f>5</f></d></rec>
+	</db>`
+	st, tree, err := enginetest.MustBuild(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	queries := []string{
+		"//rec[a][b][c]/d",                // three branches + continuation
+		"//rec[a and b and c]/d[e and f]", // nested branch points
+		"//rec[a][d/e]/c",
+		"//rec[d[e][f]]/a",
+		`//rec[a="1" and d[e="4"]]/c`,
+	}
+	for _, qs := range queries {
+		want, err := enginetest.EvalStarts(tree, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, trName := range []string{"dlabel", "split", "pushup", "unfold"} {
+			tr, _ := translate.ByName(trName)
+			plan, err := tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}, xpath.MustParse(qs))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", qs, trName, err)
+			}
+			res, err := Execute(st, plan)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", qs, trName, err)
+			}
+			if !enginetest.StartsEqual(res.Starts(), want) {
+				t.Errorf("%s [%s]: got %s want %s\n%s", qs, trName,
+					enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want), plan)
+			}
+		}
+	}
+}
+
+// TestUnfoldFallbackEndToEnd: on a schema where unfolded fragments have
+// ambiguous level gaps, Unfold degrades to Push-up — and must still
+// return exactly the right answer on both engines.
+func TestUnfoldFallbackEndToEnd(t *testing.T) {
+	// b nests under both a and b, so //b unfolds to paths of different
+	// lengths that are prefixes of each other: the ambiguous-gap case.
+	doc := `<a>
+	  <b><x>1</x><b><x>2</x><c>k</c></b></b>
+	  <b><x>3</x></b>
+	  <c>top</c>
+	</a>`
+	st, tree, err := enginetest.MustBuild(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+	q := "//b[x]/c"
+	plan, err := translate.Unfold(ctx, xpath.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Note == "" {
+		t.Fatalf("expected fallback for ambiguous gaps, got:\n%s", plan)
+	}
+	want, err := enginetest.EvalStarts(tree, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := relengine.Execute(st, plan, relengine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enginetest.StartsEqual(rres.Starts(), want) {
+		t.Fatalf("relational fallback wrong: got %v want %v", rres.Starts(), want)
+	}
+	tres, err := Execute(st, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enginetest.StartsEqual(tres.Starts(), want) {
+		t.Fatalf("twig fallback wrong: got %v want %v", tres.Starts(), want)
+	}
+}
+
+// TestPLabelSetStreams: recursive schemas make Unfold produce plabel-set
+// fragments (unions of equality selections); both engines must merge the
+// per-label runs into document order correctly.
+func TestPLabelSetStreams(t *testing.T) {
+	doc := `<site><desc>
+	  <parlist><listitem>l1<parlist><listitem>l2</listitem></parlist></listitem><listitem>l3</listitem></parlist>
+	</desc><desc><parlist><listitem>l4</listitem></parlist></desc></site>`
+	st, tree, err := enginetest.MustBuild(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+
+	q := "/site/desc//listitem"
+	plan, err := translate.Unfold(ctx, xpath.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := plan.Fragments[plan.Return]
+	if ret.Access.Kind != translate.AccessPLabelSet {
+		t.Fatalf("expected a plabel-set fragment, got %v\n%s", ret.Access.Kind, plan)
+	}
+	want, _ := enginetest.EvalStarts(tree, q)
+	res, err := Execute(st, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enginetest.StartsEqual(res.Starts(), want) {
+		t.Fatalf("twig set-scan: got %v want %v", res.Starts(), want)
+	}
+	rres, err := relengine.Execute(st, plan, relengine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enginetest.StartsEqual(rres.Starts(), want) {
+		t.Fatalf("relational set-scan: got %v want %v", rres.Starts(), want)
+	}
+}
+
+// TestDeepRecursionStress: heavily self-nested documents produce deep
+// stacks and many path solutions per leaf; differential-check against
+// the reference evaluator.
+func TestDeepRecursionStress(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4242))
+	p := enginetest.DocParams{
+		Tags:     []string{"n", "m"}, // tiny alphabet = heavy self-nesting
+		MaxDepth: 10,
+		MaxKids:  3,
+		Values:   []string{"", "", "v1", "v2"},
+	}
+	for docIdx := 0; docIdx < 6; docIdx++ {
+		tree := enginetest.RandomDoc(rnd, p)
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range []string{
+			"//n//n//n",
+			"//n[m]/n",
+			"//n[n[m]]//m",
+			"//m//n/m",
+			"/n//n[n and m]",
+		} {
+			want, err := enginetest.EvalStarts(tree, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, trName := range []string{"dlabel", "split", "pushup"} {
+				tr, _ := translate.ByName(trName)
+				plan, err := tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}, xpath.MustParse(qs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Execute(st, plan)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", qs, trName, err)
+				}
+				if !enginetest.StartsEqual(res.Starts(), want) {
+					t.Errorf("doc %d %s [%s]: got %s want %s", docIdx, qs, trName,
+						enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want))
+				}
+			}
+		}
+		st.Close()
+	}
+}

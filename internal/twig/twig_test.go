@@ -1,0 +1,210 @@
+package twig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enginetest"
+	"repro/internal/relengine"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const playsDoc = `<PLAYS>
+  <PLAY>
+    <TITLE>Hamlet</TITLE>
+    <ACT>
+      <TITLE>ACT I</TITLE>
+      <SCENE>
+        <TITLE>SCENE III. A public place.</TITLE>
+        <SPEECH><SPEAKER>First</SPEAKER><LINE>line one</LINE><LINE>line two</LINE></SPEECH>
+        <SPEECH><SPEAKER>Second</SPEAKER><LINE>line three</LINE></SPEECH>
+      </SCENE>
+      <SCENE>
+        <TITLE>SCENE IV</TITLE>
+        <SPEECH><SPEAKER>Third</SPEAKER><LINE>line four</LINE></SPEECH>
+      </SCENE>
+    </ACT>
+    <EPILOGUE><LINE>closing<STAGEDIR>exit</STAGEDIR></LINE></EPILOGUE>
+  </PLAY>
+  <PLAY>
+    <TITLE>Macbeth</TITLE>
+    <ACT>
+      <TITLE>ACT I</TITLE>
+      <SCENE>
+        <TITLE>SCENE I</TITLE>
+        <SPEECH><SPEAKER>Witch</SPEAKER><LINE>when shall we</LINE></SPEECH>
+      </SCENE>
+    </ACT>
+  </PLAY>
+</PLAYS>`
+
+func ctxFor(st *core.Store) translate.Context {
+	return translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+}
+
+// runAll executes a query with every translator on the twig engine and
+// compares against the reference evaluator (and the relational engine).
+func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
+	t.Helper()
+	want, err := enginetest.EvalStarts(tree, query)
+	if err != nil {
+		t.Fatalf("reference eval %s: %v", query, err)
+	}
+	translators := map[string]translate.Translator{
+		"dlabel": translate.Baseline,
+		"split":  translate.Split,
+		"pushup": translate.PushUp,
+		"unfold": translate.Unfold,
+	}
+	for name, tr := range translators {
+		p, err := tr(ctxFor(st), xpath.MustParse(query))
+		if err != nil {
+			t.Fatalf("%s: translate %s: %v", name, query, err)
+		}
+		res, err := Execute(st, p)
+		if err != nil {
+			t.Fatalf("%s: twig execute %s: %v", name, query, err)
+		}
+		if !enginetest.StartsEqual(res.Starts(), want) {
+			t.Errorf("twig/%s: %s\n got %s\nwant %s\nplan:\n%s", name, query,
+				enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want), p)
+		}
+		// Cross-check against the relational engine on the same plan.
+		rres, err := relengine.Execute(st, p, relengine.Options{})
+		if err != nil {
+			t.Fatalf("%s: relengine on same plan: %v", name, err)
+		}
+		if !enginetest.StartsEqual(rres.Starts(), res.Starts()) {
+			t.Errorf("engines disagree on %s/%s: rel %s vs twig %s", name, query,
+				enginetest.FormatStarts(rres.Starts()), enginetest.FormatStarts(res.Starts()))
+		}
+	}
+}
+
+func TestPlaysQueries(t *testing.T) {
+	st, tree, err := enginetest.MustBuild(playsDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	queries := []string{
+		"/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",                               // QS1 shape
+		"/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",                             // QS2 shape
+		`/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`, // QS3 shape
+		"//SCENE//LINE",
+		"//SPEECH[SPEAKER]/LINE",
+		"//PLAY[EPILOGUE]/TITLE",
+		`//PLAY[TITLE="Macbeth"]//SPEAKER`,
+		"//LINE",
+		"/PLAYS/PLAY[ACT/SCENE/SPEECH[SPEAKER]]/TITLE",
+		"//ACT[TITLE and SCENE]/SCENE/TITLE",
+		"//STAGEDIR",
+		"/PLAYS/*/TITLE",
+		"//nosuch",
+	}
+	for _, q := range queries {
+		runAll(t, st, tree, q)
+	}
+}
+
+// TestRecursiveStacks exercises nested same-tag elements, where stack
+// depth exceeds one and ancestor enumeration must respect parent links.
+func TestRecursiveStacks(t *testing.T) {
+	doc := `<r>
+	  <a><a><a><b>x</b></a><b>y</b></a></a>
+	  <a><b>z</b></a>
+	</r>`
+	st, tree, err := enginetest.MustBuild(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, q := range []string{
+		"//a//b",
+		"//a/b",
+		"//a/a//b",
+		"//a[a]/b",
+		"//a//a//b",
+		"/r/a/a/b",
+		"//a[b]",
+	} {
+		runAll(t, st, tree, q)
+	}
+}
+
+func TestDifferentialRandomTwig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(777))
+	p := enginetest.DefaultDocParams()
+	for docIdx := 0; docIdx < 10; docIdx++ {
+		tree := enginetest.RandomDoc(rnd, p)
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qIdx := 0; qIdx < 25; qIdx++ {
+			runAll(t, st, tree, enginetest.RandomQuery(rnd, p))
+		}
+		st.Close()
+	}
+}
+
+// TestElementsReadAdvantage verifies the paper's Fig. 14(b) effect: the
+// BLAS translators read fewer elements than D-labeling on the twig
+// engine, because their streams are P-label-selected.
+func TestElementsReadAdvantage(t *testing.T) {
+	doc := xmltree.New("db")
+	for i := 0; i < 60; i++ {
+		e := doc.AppendNew("entry")
+		p := e.AppendNew("protein")
+		p.AppendText("name", "n")
+		r := e.AppendNew("ref")
+		r.AppendText("name", "m") // inflates the baseline's name stream
+		r.AppendText("year", "2001")
+	}
+	st, err := core.BuildFromTree(doc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	measure := func(tr translate.Translator, q string) uint64 {
+		p, err := tr(ctxFor(st), xpath.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ResetCounters()
+		if _, err := Execute(st, p); err != nil {
+			t.Fatal(err)
+		}
+		return st.Snapshot().Visited
+	}
+	q := "/db/entry/protein/name"
+	base := measure(translate.Baseline, q)
+	split := measure(translate.Split, q)
+	if split >= base {
+		t.Fatalf("split read %d elements >= baseline %d", split, base)
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	st, _, err := enginetest.MustBuild(`<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p, err := translate.Split(ctxFor(st), xpath.MustParse("//zzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(st, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("expected empty result")
+	}
+}

@@ -1,0 +1,225 @@
+// Package uint128 implements 128-bit unsigned integer arithmetic.
+//
+// BLAS P-labels live in an integer domain of size m >= (n+1)^h, where n is
+// the number of distinct tags in a document and h its depth (paper §3.2.2).
+// For realistic documents (e.g. the Auction data set: 77 tags, depth 12)
+// that domain exceeds 2^64, so the labeling scheme is built on this package.
+//
+// The zero value is the number 0 and is ready to use. Values are immutable;
+// all operations return new values.
+package uint128
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Uint128 is an unsigned 128-bit integer: Hi*2^64 + Lo.
+type Uint128 struct {
+	Hi uint64
+	Lo uint64
+}
+
+// Common constants.
+var (
+	Zero = Uint128{}
+	One  = Uint128{Lo: 1}
+	Max  = Uint128{Hi: ^uint64(0), Lo: ^uint64(0)}
+)
+
+// From64 returns v as a Uint128.
+func From64(v uint64) Uint128 { return Uint128{Lo: v} }
+
+// FromBig converts b to a Uint128. It reports whether the conversion was
+// exact; values outside [0, 2^128) are truncated to the low 128 bits and
+// negative values report false.
+func FromBig(b *big.Int) (Uint128, bool) {
+	if b.Sign() < 0 {
+		var t big.Int
+		t.And(b, maxBig())
+		u, _ := FromBig(&t)
+		return u, false
+	}
+	var lo, hi big.Int
+	lo.And(b, mask64Big())
+	hi.Rsh(b, 64)
+	exact := hi.BitLen() <= 64
+	var t big.Int
+	t.And(&hi, mask64Big())
+	return Uint128{Hi: t.Uint64(), Lo: lo.Uint64()}, exact
+}
+
+func mask64Big() *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), 64)
+	return m.Sub(m, big.NewInt(1))
+}
+
+func maxBig() *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), 128)
+	return m.Sub(m, big.NewInt(1))
+}
+
+// Big returns u as a math/big integer.
+func (u Uint128) Big() *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(u.Lo))
+}
+
+// IsZero reports whether u == 0.
+func (u Uint128) IsZero() bool { return u.Hi == 0 && u.Lo == 0 }
+
+// Cmp compares u and v, returning -1 if u < v, 0 if u == v, +1 if u > v.
+func (u Uint128) Cmp(v Uint128) int {
+	switch {
+	case u.Hi < v.Hi:
+		return -1
+	case u.Hi > v.Hi:
+		return 1
+	case u.Lo < v.Lo:
+		return -1
+	case u.Lo > v.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether u < v.
+func (u Uint128) Less(v Uint128) bool { return u.Cmp(v) < 0 }
+
+// Leq reports whether u <= v.
+func (u Uint128) Leq(v Uint128) bool { return u.Cmp(v) <= 0 }
+
+// Add returns u + v mod 2^128.
+func (u Uint128) Add(v Uint128) Uint128 {
+	lo, carry := bits.Add64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Add64(u.Hi, v.Hi, carry)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Add64 returns u + v mod 2^128.
+func (u Uint128) Add64(v uint64) Uint128 { return u.Add(From64(v)) }
+
+// Sub returns u - v mod 2^128.
+func (u Uint128) Sub(v Uint128) Uint128 {
+	lo, borrow := bits.Sub64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Sub64(u.Hi, v.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Sub64 returns u - v mod 2^128.
+func (u Uint128) Sub64(v uint64) Uint128 { return u.Sub(From64(v)) }
+
+// Mul64 returns u * v mod 2^128.
+func (u Uint128) Mul64(v uint64) Uint128 {
+	hi, lo := bits.Mul64(u.Lo, v)
+	hi += u.Hi * v
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Lsh returns u << n. Shifts of 128 or more return zero.
+func (u Uint128) Lsh(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Zero
+	case n >= 64:
+		return Uint128{Hi: u.Lo << (n - 64)}
+	case n == 0:
+		return u
+	}
+	return Uint128{Hi: u.Hi<<n | u.Lo>>(64-n), Lo: u.Lo << n}
+}
+
+// Rsh returns u >> n. Shifts of 128 or more return zero.
+func (u Uint128) Rsh(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Zero
+	case n >= 64:
+		return Uint128{Lo: u.Hi >> (n - 64)}
+	case n == 0:
+		return u
+	}
+	return Uint128{Hi: u.Hi >> n, Lo: u.Lo>>n | u.Hi<<(64-n)}
+}
+
+// And returns u & v.
+func (u Uint128) And(v Uint128) Uint128 { return Uint128{Hi: u.Hi & v.Hi, Lo: u.Lo & v.Lo} }
+
+// Or returns u | v.
+func (u Uint128) Or(v Uint128) Uint128 { return Uint128{Hi: u.Hi | v.Hi, Lo: u.Lo | v.Lo} }
+
+// Xor returns u ^ v.
+func (u Uint128) Xor(v Uint128) Uint128 { return Uint128{Hi: u.Hi ^ v.Hi, Lo: u.Lo ^ v.Lo} }
+
+// Not returns ^u.
+func (u Uint128) Not() Uint128 { return Uint128{Hi: ^u.Hi, Lo: ^u.Lo} }
+
+// LeadingZeros returns the number of leading zero bits in u; 128 for u == 0.
+func (u Uint128) LeadingZeros() int {
+	if u.Hi != 0 {
+		return bits.LeadingZeros64(u.Hi)
+	}
+	return 64 + bits.LeadingZeros64(u.Lo)
+}
+
+// BitLen returns the number of bits required to represent u; 0 for u == 0.
+func (u Uint128) BitLen() int { return 128 - u.LeadingZeros() }
+
+// QuoRem64 returns the quotient and remainder of u divided by v.
+// It panics if v == 0.
+func (u Uint128) QuoRem64(v uint64) (q Uint128, r uint64) {
+	if v == 0 {
+		panic("uint128: division by zero")
+	}
+	q.Hi, r = u.Hi/v, u.Hi%v
+	q.Lo, r = bits.Div64(r, u.Lo, v)
+	return q, r
+}
+
+// String returns the decimal representation of u.
+func (u Uint128) String() string {
+	if u.Hi == 0 {
+		return fmt.Sprintf("%d", u.Lo)
+	}
+	// Peel off base-1e19 digits.
+	var buf []byte
+	for !u.IsZero() {
+		var r uint64
+		u, r = u.QuoRem64(1e19)
+		if u.IsZero() {
+			buf = append([]byte(fmt.Sprintf("%d", r)), buf...)
+		} else {
+			buf = append([]byte(fmt.Sprintf("%019d", r)), buf...)
+		}
+	}
+	return string(buf)
+}
+
+// AppendBytes appends the 16-byte big-endian encoding of u to dst.
+// The encoding preserves order: for any u, v, bytes(u) < bytes(v)
+// lexicographically iff u < v.
+func (u Uint128) AppendBytes(dst []byte) []byte {
+	for i := 56; i >= 0; i -= 8 {
+		dst = append(dst, byte(u.Hi>>uint(i)))
+	}
+	for i := 56; i >= 0; i -= 8 {
+		dst = append(dst, byte(u.Lo>>uint(i)))
+	}
+	return dst
+}
+
+// FromBytes decodes a 16-byte big-endian encoding produced by AppendBytes.
+// It panics if b is shorter than 16 bytes.
+func FromBytes(b []byte) Uint128 {
+	_ = b[15]
+	var u Uint128
+	for i := 0; i < 8; i++ {
+		u.Hi = u.Hi<<8 | uint64(b[i])
+	}
+	for i := 8; i < 16; i++ {
+		u.Lo = u.Lo<<8 | uint64(b[i])
+	}
+	return u
+}

@@ -1,0 +1,317 @@
+package uint128
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fromPair(hi, lo uint64) Uint128 { return Uint128{Hi: hi, Lo: lo} }
+
+func TestBasicConstants(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero is not zero")
+	}
+	if One.Cmp(From64(1)) != 0 {
+		t.Fatal("One != From64(1)")
+	}
+	if Max.Add(One).Cmp(Zero) != 0 {
+		t.Fatal("Max+1 should wrap to 0")
+	}
+	if Zero.Sub(One).Cmp(Max) != 0 {
+		t.Fatal("0-1 should wrap to Max")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Uint128
+		want int
+	}{
+		{Zero, Zero, 0},
+		{Zero, One, -1},
+		{One, Zero, 1},
+		{fromPair(1, 0), fromPair(0, ^uint64(0)), 1},
+		{fromPair(0, ^uint64(0)), fromPair(1, 0), -1},
+		{fromPair(5, 7), fromPair(5, 7), 0},
+		{fromPair(5, 7), fromPair(5, 8), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("Less(%v,%v) = %v", c.a, c.b, got)
+		}
+		if got := c.a.Leq(c.b); got != (c.want <= 0) {
+			t.Errorf("Leq(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestAddCarry(t *testing.T) {
+	a := fromPair(0, ^uint64(0))
+	got := a.Add(One)
+	if got != fromPair(1, 0) {
+		t.Fatalf("carry: got %v", got)
+	}
+	if a.Add64(1) != fromPair(1, 0) {
+		t.Fatal("Add64 carry failed")
+	}
+}
+
+func TestSubBorrow(t *testing.T) {
+	a := fromPair(1, 0)
+	got := a.Sub(One)
+	if got != fromPair(0, ^uint64(0)) {
+		t.Fatalf("borrow: got %v", got)
+	}
+	if a.Sub64(1) != fromPair(0, ^uint64(0)) {
+		t.Fatal("Sub64 borrow failed")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	one := One
+	if one.Lsh(64) != fromPair(1, 0) {
+		t.Fatal("1<<64")
+	}
+	if one.Lsh(127) != fromPair(1<<63, 0) {
+		t.Fatal("1<<127")
+	}
+	if one.Lsh(128) != Zero {
+		t.Fatal("1<<128 should be 0")
+	}
+	if fromPair(1, 0).Rsh(64) != One {
+		t.Fatal("2^64>>64")
+	}
+	if fromPair(1<<63, 0).Rsh(127) != One {
+		t.Fatal("2^127>>127")
+	}
+	if Max.Rsh(128) != Zero {
+		t.Fatal("Max>>128 should be 0")
+	}
+	if Max.Lsh(0) != Max || Max.Rsh(0) != Max {
+		t.Fatal("shift by 0 should be identity")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		u    Uint128
+		want string
+	}{
+		{Zero, "0"},
+		{From64(42), "42"},
+		{From64(^uint64(0)), "18446744073709551615"},
+		{fromPair(1, 0), "18446744073709551616"},
+		{Max, "340282366920938463463374607431768211455"},
+	}
+	for _, c := range cases {
+		if got := c.u.String(); got != c.want {
+			t.Errorf("String(%v/%v) = %q, want %q", c.u.Hi, c.u.Lo, got, c.want)
+		}
+	}
+}
+
+func TestQuoRem64(t *testing.T) {
+	u := fromPair(7, 9)
+	q, r := u.QuoRem64(3)
+	// Verify via big.Int.
+	want, _ := new(big.Int).QuoRem(u.Big(), big.NewInt(3), new(big.Int))
+	if q.Big().Cmp(want) != 0 {
+		t.Fatalf("quo mismatch: %v", q)
+	}
+	check := q.Mul64(3).Add64(r)
+	if check != u {
+		t.Fatalf("q*3+r != u: %v", check)
+	}
+}
+
+func TestQuoRemPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on division by zero")
+		}
+	}()
+	One.QuoRem64(0)
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	vals := []Uint128{Zero, One, Max, fromPair(0xdeadbeef, 0xcafebabe), fromPair(1, 0)}
+	for _, v := range vals {
+		b := v.AppendBytes(nil)
+		if len(b) != 16 {
+			t.Fatalf("encoding length %d", len(b))
+		}
+		if got := FromBytes(b); got != v {
+			t.Errorf("roundtrip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if Zero.BitLen() != 0 {
+		t.Fatal("BitLen(0)")
+	}
+	if One.BitLen() != 1 {
+		t.Fatal("BitLen(1)")
+	}
+	if fromPair(1, 0).BitLen() != 65 {
+		t.Fatal("BitLen(2^64)")
+	}
+	if Max.BitLen() != 128 {
+		t.Fatal("BitLen(Max)")
+	}
+}
+
+func TestFromBig(t *testing.T) {
+	u, ok := FromBig(big.NewInt(12345))
+	if !ok || u.Cmp(From64(12345)) != 0 {
+		t.Fatal("FromBig small")
+	}
+	if _, ok := FromBig(big.NewInt(-1)); ok {
+		t.Fatal("FromBig(-1) should be inexact")
+	}
+	over := new(big.Int).Lsh(big.NewInt(1), 128)
+	if _, ok := FromBig(over); ok {
+		t.Fatal("FromBig(2^128) should be inexact")
+	}
+	u, ok = FromBig(Max.Big())
+	if !ok || u != Max {
+		t.Fatal("FromBig(Max)")
+	}
+}
+
+// --- property-based tests against math/big ---
+
+func randU128(r *rand.Rand) Uint128 {
+	return Uint128{Hi: r.Uint64(), Lo: r.Uint64()}
+}
+
+var mod128 = new(big.Int).Lsh(big.NewInt(1), 128)
+
+func TestQuickAdd(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := fromPair(ah, al), fromPair(bh, bl)
+		want := new(big.Int).Add(a.Big(), b.Big())
+		want.Mod(want, mod128)
+		return a.Add(b).Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSub(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := fromPair(ah, al), fromPair(bh, bl)
+		want := new(big.Int).Sub(a.Big(), b.Big())
+		want.Mod(want, mod128)
+		return a.Sub(b).Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMul64(t *testing.T) {
+	f := func(ah, al, v uint64) bool {
+		a := fromPair(ah, al)
+		want := new(big.Int).Mul(a.Big(), new(big.Int).SetUint64(v))
+		want.Mod(want, mod128)
+		return a.Mul64(v).Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShifts(t *testing.T) {
+	f := func(ah, al uint64, nRaw uint8) bool {
+		a := fromPair(ah, al)
+		n := uint(nRaw) % 130
+		wantL := new(big.Int).Lsh(a.Big(), n)
+		wantL.Mod(wantL, mod128)
+		wantR := new(big.Int).Rsh(a.Big(), n)
+		return a.Lsh(n).Big().Cmp(wantL) == 0 && a.Rsh(n).Big().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpMatchesBig(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := fromPair(ah, al), fromPair(bh, bl)
+		return a.Cmp(b) == a.Big().Cmp(b.Big())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesOrderPreserving(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := fromPair(ah, al), fromPair(bh, bl)
+		ab, bb := a.AppendBytes(nil), b.AppendBytes(nil)
+		cmpBytes := 0
+		for i := range ab {
+			if ab[i] != bb[i] {
+				if ab[i] < bb[i] {
+					cmpBytes = -1
+				} else {
+					cmpBytes = 1
+				}
+				break
+			}
+		}
+		return cmpBytes == a.Cmp(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		u := randU128(r)
+		if u.String() != u.Big().String() {
+			t.Fatalf("String mismatch for %v/%v: %s vs %s", u.Hi, u.Lo, u.String(), u.Big().String())
+		}
+	}
+}
+
+func TestQuickQuoRem(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		u := randU128(r)
+		v := r.Uint64()
+		if v == 0 {
+			v = 1
+		}
+		q, rem := u.QuoRem64(v)
+		br := new(big.Int)
+		bq, _ := new(big.Int).QuoRem(u.Big(), new(big.Int).SetUint64(v), br)
+		if q.Big().Cmp(bq) != 0 || br.Uint64() != rem {
+			t.Fatalf("QuoRem64(%s, %d) = (%s, %d), want (%s, %s)", u, v, q, rem, bq, br)
+		}
+	}
+}
+
+func TestQuickBitwise(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := fromPair(ah, al), fromPair(bh, bl)
+		and := new(big.Int).And(a.Big(), b.Big())
+		or := new(big.Int).Or(a.Big(), b.Big())
+		xor := new(big.Int).Xor(a.Big(), b.Big())
+		return a.And(b).Big().Cmp(and) == 0 &&
+			a.Or(b).Big().Cmp(or) == 0 &&
+			a.Xor(b).Big().Cmp(xor) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildAndNavigate(t *testing.T) {
+	root := New("db")
+	entry := root.AppendNew("entry")
+	entry.AppendText("name", "alpha")
+	entry.SetAttr("id", "e1")
+
+	if entry.Parent != root {
+		t.Fatal("parent link broken")
+	}
+	if root.Level() != 1 || entry.Level() != 2 {
+		t.Fatalf("levels = %d, %d", root.Level(), entry.Level())
+	}
+	// SetAttr puts attributes before element children.
+	if entry.Children[0].Tag != "@id" {
+		t.Fatalf("first child = %s, want @id", entry.Children[0].Tag)
+	}
+	name := entry.Children[1]
+	sp := name.SourcePath()
+	if strings.Join(sp, "/") != "db/entry/name" {
+		t.Fatalf("SourcePath = %v", sp)
+	}
+}
+
+func TestIsAttr(t *testing.T) {
+	n := New("x")
+	n.SetAttr("a", "1")
+	if !n.Children[0].IsAttr() {
+		t.Fatal("attribute node not recognized")
+	}
+	if n.IsAttr() {
+		t.Fatal("element misclassified as attribute")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	doc := `<db><entry id="e1"><name>alpha &amp; beta</name><tags/></entry></db>`
+	root, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := root.String()
+	if got != doc {
+		t.Fatalf("roundtrip:\n got %s\nwant %s", got, doc)
+	}
+	// Parse the serialization again; must be stable.
+	root2, err := ParseString(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2.String() != got {
+		t.Fatal("serialization not stable")
+	}
+}
+
+func TestParseAttrsBecomeNodes(t *testing.T) {
+	root, err := ParseString(`<a x="1" y="2"><b z="3"/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3 (two attrs + b)", len(root.Children))
+	}
+	if root.Children[0].Tag != "@x" || root.Children[0].Text != "1" {
+		t.Fatalf("attr node = %+v", root.Children[0])
+	}
+	b := root.Children[2]
+	if b.Tag != "b" || len(b.Children) != 1 || b.Children[0].Tag != "@z" {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+func TestParseTextCoalesced(t *testing.T) {
+	root, err := ParseString(`<a>one<b/>two</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Text != "one two" {
+		t.Fatalf("text = %q", root.Text)
+	}
+}
+
+func TestWalkDocumentOrder(t *testing.T) {
+	root, err := ParseString(`<a><b><c/></b><d/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	root.Walk(func(n *Node) { order = append(order, n.Tag) })
+	want := "a b c d"
+	if strings.Join(order, " ") != want {
+		t.Fatalf("walk order = %v", order)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	root, err := ParseString(`<a x="1"><b><c/></b><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(root)
+	// nodes: a, @x, b, c, b = 5
+	if st.Nodes != 5 {
+		t.Fatalf("Nodes = %d, want 5", st.Nodes)
+	}
+	// tags: a, @x, b, c = 4
+	if st.Tags != 4 {
+		t.Fatalf("Tags = %d, want 4", st.Tags)
+	}
+	// depth: a/b/c = 3
+	if st.Depth != 3 {
+		t.Fatalf("Depth = %d, want 3", st.Depth)
+	}
+}
+
+func TestDistinctTags(t *testing.T) {
+	root, _ := ParseString(`<a><b/><b/><c/></a>`)
+	tags := DistinctTags(root)
+	if strings.Join(tags, ",") != "a,b,c" {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := New("a")
+	n.Text = `<>&"`
+	n.SetAttr("q", `"quoted"`)
+	s := n.String()
+	if !strings.Contains(s, "&lt;&gt;&amp;&quot;") {
+		t.Fatalf("text not escaped: %s", s)
+	}
+	if !strings.Contains(s, `q="&quot;quoted&quot;"`) {
+		t.Fatalf("attr not escaped: %s", s)
+	}
+	// Round trip.
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Text != n.Text {
+		t.Fatalf("text roundtrip: %q", back.Text)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := ParseString(`<a><b></a>`); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSourcePathOfRoot(t *testing.T) {
+	root := New("r")
+	sp := root.SourcePath()
+	if len(sp) != 1 || sp[0] != "r" {
+		t.Fatalf("SourcePath(root) = %v", sp)
+	}
+}

@@ -1,0 +1,194 @@
+// Package xpath implements the XPath subset of the paper (§2): child axis
+// navigation (/), descendant axis navigation (//), branches ([...]) with
+// conjunction (and), value predicates (= "literal"), plus wildcard steps
+// (*) and attribute steps (@name) as extensions.
+//
+// A parsed query is the paper's "query tree": one node per step, each with
+// an incoming axis, optional branches, an optional value predicate, and a
+// single continuation (Next); the last node on the Next chain from the
+// root is the return node. The package also provides the naive evaluator
+// over xmltree documents that serves as ground truth for every engine in
+// the test suite.
+package xpath
+
+import (
+	"strings"
+)
+
+// Axis is the axis of a step's incoming edge.
+type Axis int
+
+// Axes.
+const (
+	Child      Axis = iota // "/"
+	Descendant             // "//"
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Node is one step of a query tree.
+type Node struct {
+	Axis     Axis
+	Tag      string  // element tag, "*" (any element), or "@name" (attribute)
+	Value    *string // non-nil: the node's text must equal *Value
+	Branches []*Node // predicate subtrees ([...])
+	Next     *Node   // continuation of the path; nil at a leaf
+}
+
+// Query is a parsed query tree.
+type Query struct {
+	Root *Node
+}
+
+// IsWildcard reports whether the node is a wildcard step.
+func (n *Node) IsWildcard() bool { return n.Tag == "*" }
+
+// IsAttr reports whether the node is an attribute step.
+func (n *Node) IsAttr() bool { return strings.HasPrefix(n.Tag, "@") }
+
+// Return returns the query's return node: the last step on the Next chain.
+func (q Query) Return() *Node {
+	n := q.Root
+	for n.Next != nil {
+		n = n.Next
+	}
+	return n
+}
+
+// Clone deep-copies the query tree.
+func (q Query) Clone() Query { return Query{Root: q.Root.Clone()} }
+
+// Clone deep-copies the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Axis: n.Axis, Tag: n.Tag, Next: n.Next.Clone()}
+	if n.Value != nil {
+		v := *n.Value
+		c.Value = &v
+	}
+	for _, b := range n.Branches {
+		c.Branches = append(c.Branches, b.Clone())
+	}
+	return c
+}
+
+// String renders the query in XPath syntax.
+func (q Query) String() string {
+	var b strings.Builder
+	writeChain(&b, q.Root)
+	return b.String()
+}
+
+func writeChain(b *strings.Builder, n *Node) {
+	for ; n != nil; n = n.Next {
+		b.WriteString(n.Axis.String())
+		b.WriteString(n.Tag)
+		for _, br := range n.Branches {
+			b.WriteString("[")
+			writeBranch(b, br)
+			b.WriteString("]")
+		}
+		if n.Value != nil {
+			b.WriteString(`="`)
+			b.WriteString(*n.Value)
+			b.WriteString(`"`)
+		}
+	}
+}
+
+// writeBranch renders a predicate subtree; the leading child axis inside a
+// predicate is implicit in XPath syntax.
+func writeBranch(b *strings.Builder, n *Node) {
+	first := true
+	for ; n != nil; n = n.Next {
+		if !first || n.Axis == Descendant {
+			b.WriteString(n.Axis.String())
+		}
+		first = false
+		b.WriteString(n.Tag)
+		for _, br := range n.Branches {
+			b.WriteString("[")
+			writeBranch(b, br)
+			b.WriteString("]")
+		}
+		if n.Value != nil {
+			b.WriteString(`="`)
+			b.WriteString(*n.Value)
+			b.WriteString(`"`)
+		}
+	}
+}
+
+// CountNodes returns the number of steps in the query tree (tags in the
+// paper's terminology — the l of the "l-1 D-joins" bound).
+func (q Query) CountNodes() int { return countNodes(q.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	c := 1 + countNodes(n.Next)
+	for _, b := range n.Branches {
+		c += countNodes(b)
+	}
+	return c
+}
+
+// CountDescendantEdges returns d: the number of descendant-axis edges in
+// the tree (used by the paper's b+d join bound). The root's leading "//"
+// counts, matching the paper's treatment of Q's decomposition.
+func (q Query) CountDescendantEdges() int { return countDesc(q.Root, true) }
+
+func countDesc(n *Node, isRoot bool) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.Axis == Descendant && !isRoot {
+		c++
+	}
+	c += countDesc(n.Next, false)
+	for _, b := range n.Branches {
+		c += countDesc(b, false)
+	}
+	return c
+}
+
+// CountBranchEdges returns b: the number of outgoing non-descendant edges
+// at branching points (paper §4.2). A node is a branching point if it has
+// more than one outgoing edge (branches plus continuation), or if it is
+// the return node and has any branch.
+func (q Query) CountBranchEdges() int { return countBranchEdges(q.Root) }
+
+func countBranchEdges(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	out := len(n.Branches)
+	if n.Next != nil {
+		out++
+	}
+	c := 0
+	if out > 1 {
+		for _, b := range n.Branches {
+			if b.Axis == Child {
+				c++
+			}
+		}
+		if n.Next != nil && n.Next.Axis == Child {
+			c++
+		}
+	}
+	c += countBranchEdges(n.Next)
+	for _, b := range n.Branches {
+		c += countBranchEdges(b)
+	}
+	return c
+}

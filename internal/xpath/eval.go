@@ -1,0 +1,143 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Eval evaluates the query against a document and returns the bindings of
+// the return node, deduplicated, in document order. It is the reference
+// ("naive") evaluator: a direct implementation of the semantics of §2,
+// used as ground truth for the BLAS engines.
+func Eval(doc *xmltree.Node, q Query) []*xmltree.Node {
+	if doc == nil || q.Root == nil {
+		return nil
+	}
+	// Walk the main path, maintaining the frontier of candidate bindings.
+	frontier := axisFrom(nil, doc, q.Root.Axis)
+	frontier = filterStep(frontier, q.Root)
+	for step := q.Root.Next; step != nil; step = step.Next {
+		var next []*xmltree.Node
+		seen := map[*xmltree.Node]bool{}
+		for _, d := range frontier {
+			for _, c := range axisFrom(d, doc, step.Axis) {
+				if !seen[c] {
+					seen[c] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = filterStep(next, step)
+	}
+	return docOrder(doc, frontier)
+}
+
+// filterStep keeps the nodes that satisfy the step's tag, value predicate
+// and branch subtrees (but not its continuation).
+func filterStep(nodes []*xmltree.Node, step *Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, d := range nodes {
+		if !nodeMatchesLocal(d, step) {
+			continue
+		}
+		ok := true
+		for _, b := range step.Branches {
+			if !existsMatch(d, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// nodeMatchesLocal checks tag and value only.
+func nodeMatchesLocal(d *xmltree.Node, step *Node) bool {
+	switch {
+	case step.Tag == "*":
+		if d.IsAttr() {
+			return false
+		}
+	case step.Tag != d.Tag:
+		return false
+	}
+	if step.Value != nil && d.Text != *step.Value {
+		return false
+	}
+	return true
+}
+
+// existsMatch reports whether some node reachable from d via the branch
+// step's axis matches the entire branch subtree.
+func existsMatch(d *xmltree.Node, branch *Node) bool {
+	for _, c := range axisFrom(d, nil, branch.Axis) {
+		if subtreeMatches(c, branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// subtreeMatches checks d against the step and all of its descendants in
+// the query tree (branches and continuation).
+func subtreeMatches(d *xmltree.Node, step *Node) bool {
+	if !nodeMatchesLocal(d, step) {
+		return false
+	}
+	for _, b := range step.Branches {
+		if !existsMatch(d, b) {
+			return false
+		}
+	}
+	if step.Next != nil {
+		found := false
+		for _, c := range axisFrom(d, nil, step.Next.Axis) {
+			if subtreeMatches(c, step.Next) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// axisFrom enumerates the nodes reachable from ctx via the axis. A nil ctx
+// denotes the virtual document root, whose only child is doc's root
+// element and whose descendants are every node in the document.
+func axisFrom(ctx *xmltree.Node, doc *xmltree.Node, axis Axis) []*xmltree.Node {
+	if ctx == nil {
+		if axis == Child {
+			return []*xmltree.Node{doc}
+		}
+		var all []*xmltree.Node
+		doc.Walk(func(n *xmltree.Node) { all = append(all, n) })
+		return all
+	}
+	if axis == Child {
+		return ctx.Children
+	}
+	var desc []*xmltree.Node
+	for _, c := range ctx.Children {
+		c.Walk(func(n *xmltree.Node) { desc = append(desc, n) })
+	}
+	return desc
+}
+
+// docOrder sorts nodes by their position in the document.
+func docOrder(doc *xmltree.Node, nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	pos := map[*xmltree.Node]int{}
+	i := 0
+	doc.Walk(func(n *xmltree.Node) { pos[n] = i; i++ })
+	sort.Slice(nodes, func(a, b int) bool { return pos[nodes[a]] < pos[nodes[b]] })
+	return nodes
+}

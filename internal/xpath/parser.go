@@ -1,0 +1,282 @@
+package xpath
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses an XPath expression of the supported subset:
+//
+//	Path      := ("/" | "//") Step { ("/" | "//") Step }
+//	Step      := Name Predicate* [ "=" Literal ]
+//	Name      := NCName | "*" | "@" NCName
+//	Predicate := "[" RelPath { "and" RelPath } "]"
+//	RelPath   := ["/" | "//"] Step { ("/" | "//") Step }
+//	Literal   := '"' chars '"' | "'" chars "'"
+//
+// A predicate with several conjuncts ([a and b]) becomes several branches.
+func Parse(input string) (Query, error) {
+	p := &parser{lex: newLexer(input)}
+	if err := p.lex.err; err != nil {
+		return Query{}, err
+	}
+	root, err := p.parsePath(true)
+	if err != nil {
+		return Query{}, err
+	}
+	if !p.at(tokEOF) {
+		return Query{}, fmt.Errorf("xpath: unexpected %q at position %d", p.cur.text, p.cur.pos)
+	}
+	return Query{Root: root}, nil
+}
+
+// MustParse is Parse for static query strings; it panics on error.
+func MustParse(input string) Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDSlash
+	tokLBracket
+	tokRBracket
+	tokEquals
+	tokAnd
+	tokName    // NCName, optionally with leading @; or *
+	tokLiteral // quoted string, quotes stripped
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	toks []token
+	i    int
+	err  error
+}
+
+func newLexer(input string) *lexer {
+	l := &lexer{}
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < len(input) && input[i+1] == '/' {
+				l.toks = append(l.toks, token{tokDSlash, "//", i})
+				i += 2
+			} else {
+				l.toks = append(l.toks, token{tokSlash, "/", i})
+				i++
+			}
+		case c == '[':
+			l.toks = append(l.toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			l.toks = append(l.toks, token{tokRBracket, "]", i})
+			i++
+		case c == '=':
+			l.toks = append(l.toks, token{tokEquals, "=", i})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				l.err = fmt.Errorf("xpath: unterminated string literal at position %d", i)
+				return l
+			}
+			l.toks = append(l.toks, token{tokLiteral, input[i+1 : j], i})
+			i = j + 1
+		case c == '*':
+			l.toks = append(l.toks, token{tokName, "*", i})
+			i++
+		case c == '@' || isNameStart(rune(c)):
+			j := i
+			if c == '@' {
+				j++
+				if j >= len(input) || !isNameStart(rune(input[j])) {
+					l.err = fmt.Errorf("xpath: bad attribute name at position %d", i)
+					return l
+				}
+			}
+			for j < len(input) && isNameChar(rune(input[j])) {
+				j++
+			}
+			text := input[i:j]
+			if text == "and" {
+				l.toks = append(l.toks, token{tokAnd, text, i})
+			} else {
+				l.toks = append(l.toks, token{tokName, text, i})
+			}
+			i = j
+		default:
+			l.err = fmt.Errorf("xpath: unexpected character %q at position %d", c, i)
+			return l
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(input)})
+	return l
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) next() token {
+	p.cur = p.lex.toks[p.lex.i]
+	if p.lex.i < len(p.lex.toks)-1 {
+		p.lex.i++
+	}
+	return p.cur
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.lex.i] }
+
+func (p *parser) at(k tokKind) bool { return p.peek().kind == k }
+
+// parsePath parses a chain of steps. When top is true the path must begin
+// with / or //; otherwise a leading axis is optional (relative path inside
+// a predicate) and defaults to child.
+func (p *parser) parsePath(top bool) (*Node, error) {
+	var head, tail *Node
+	first := true
+	for {
+		var axis Axis
+		switch {
+		case p.at(tokSlash):
+			p.next()
+			axis = Child
+		case p.at(tokDSlash):
+			p.next()
+			axis = Descendant
+		default:
+			if first && !top && p.at(tokName) {
+				axis = Child // relative path: implicit child axis
+			} else if first {
+				return nil, fmt.Errorf("xpath: expected / or // at position %d", p.peek().pos)
+			} else {
+				return head, nil
+			}
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		if head == nil {
+			head = step
+		} else {
+			tail.Next = step
+		}
+		tail = step
+		first = false
+		if !p.at(tokSlash) && !p.at(tokDSlash) {
+			return head, nil
+		}
+	}
+}
+
+func (p *parser) parseStep(axis Axis) (*Node, error) {
+	if !p.at(tokName) {
+		return nil, fmt.Errorf("xpath: expected name at position %d, got %q", p.peek().pos, p.peek().text)
+	}
+	tok := p.next()
+	n := &Node{Axis: axis, Tag: tok.text}
+	for p.at(tokLBracket) {
+		p.next()
+		for {
+			branch, err := p.parsePath(false)
+			if err != nil {
+				return nil, err
+			}
+			n.Branches = append(n.Branches, branch)
+			if p.at(tokAnd) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if !p.at(tokRBracket) {
+			return nil, fmt.Errorf("xpath: expected ] at position %d, got %q", p.peek().pos, p.peek().text)
+		}
+		p.next()
+	}
+	if p.at(tokEquals) {
+		p.next()
+		if !p.at(tokLiteral) {
+			return nil, fmt.Errorf("xpath: expected string literal at position %d", p.peek().pos)
+		}
+		lit := p.next()
+		v := lit.text
+		n.Value = &v
+	}
+	return n, nil
+}
+
+// ParseSuffixPath parses a string that must be a suffix path expression
+// (Definition 2.3): an optional leading // followed by child steps only,
+// no branches, wildcards or value predicates.
+func ParseSuffixPath(input string) (absolute bool, tags []string, err error) {
+	q, err := Parse(input)
+	if err != nil {
+		return false, nil, err
+	}
+	absolute = q.Root.Axis == Child
+	for n := q.Root; n != nil; n = n.Next {
+		if n != q.Root && n.Axis != Child {
+			return false, nil, fmt.Errorf("xpath: %q is not a suffix path: interior //", input)
+		}
+		if len(n.Branches) > 0 || n.Value != nil || n.IsWildcard() {
+			return false, nil, fmt.Errorf("xpath: %q is not a suffix path", input)
+		}
+		tags = append(tags, n.Tag)
+	}
+	return absolute, tags, nil
+}
+
+// IsSuffixPath reports whether the query is a suffix path expression:
+// leading axis arbitrary, all interior axes child, no branches, no
+// wildcards (value predicates also disqualify — they require data access).
+func (q Query) IsSuffixPath() bool {
+	for n := q.Root; n != nil; n = n.Next {
+		if n != q.Root && n.Axis != Child {
+			return false
+		}
+		if len(n.Branches) > 0 || n.Value != nil || n.IsWildcard() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tags returns the main-path tags of the query in document order.
+func (q Query) Tags() []string {
+	var out []string
+	for n := q.Root; n != nil; n = n.Next {
+		out = append(out, n.Tag)
+	}
+	return out
+}

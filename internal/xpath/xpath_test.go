@@ -1,0 +1,391 @@
+package xpath
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func parse(t *testing.T, s string) Query {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseSimplePath(t *testing.T) {
+	q := parse(t, "/a/b/c")
+	if q.Root.Tag != "a" || q.Root.Axis != Child {
+		t.Fatalf("root = %+v", q.Root)
+	}
+	if got := q.Tags(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("tags = %v", got)
+	}
+	if q.Return().Tag != "c" {
+		t.Fatalf("return = %s", q.Return().Tag)
+	}
+	if !q.IsSuffixPath() {
+		t.Fatal("should be a suffix path")
+	}
+}
+
+func TestParseDescendant(t *testing.T) {
+	q := parse(t, "//a/b//c")
+	if q.Root.Axis != Descendant {
+		t.Fatal("leading // not parsed")
+	}
+	if q.Root.Next.Axis != Child || q.Root.Next.Next.Axis != Descendant {
+		t.Fatal("axes wrong")
+	}
+	if q.IsSuffixPath() {
+		t.Fatal("interior // disqualifies suffix path")
+	}
+}
+
+func TestParseBranchesAndValues(t *testing.T) {
+	q := parse(t, `/a/b[c/d="x" and e]//f`)
+	b := q.Root.Next
+	if b.Tag != "b" || len(b.Branches) != 2 {
+		t.Fatalf("b = %+v", b)
+	}
+	c := b.Branches[0]
+	if c.Tag != "c" || c.Axis != Child || c.Next.Tag != "d" {
+		t.Fatalf("branch 0 = %+v", c)
+	}
+	if c.Next.Value == nil || *c.Next.Value != "x" {
+		t.Fatalf("value = %v", c.Next.Value)
+	}
+	if b.Branches[1].Tag != "e" {
+		t.Fatalf("branch 1 = %+v", b.Branches[1])
+	}
+	if q.Return().Tag != "f" || q.Return().Axis != Descendant {
+		t.Fatalf("return = %+v", q.Return())
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The paper's running example (Fig. 2).
+	q := parse(t, `/proteinDatabase/proteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`)
+	if q.Return().Tag != "title" {
+		t.Fatalf("return = %s", q.Return().Tag)
+	}
+	pe := q.Root.Next
+	if pe.Tag != "proteinEntry" || len(pe.Branches) != 1 {
+		t.Fatalf("proteinEntry = %+v", pe)
+	}
+	sup := pe.Branches[0]
+	if sup.Tag != "protein" || sup.Next.Tag != "superfamily" || sup.Next.Axis != Descendant {
+		t.Fatalf("protein branch = %+v", sup)
+	}
+	ri := pe.Next.Next
+	if ri.Tag != "refinfo" || len(ri.Branches) != 2 {
+		t.Fatalf("refinfo = %+v", ri)
+	}
+	if ri.Branches[0].Axis != Descendant || ri.Branches[0].Tag != "author" {
+		t.Fatalf("author branch = %+v", ri.Branches[0])
+	}
+	// Paper's l (number of tags): proteinDatabase, proteinEntry, protein,
+	// superfamily, reference, refinfo, author, year, title = 9.
+	if got := q.CountNodes(); got != 9 {
+		t.Fatalf("CountNodes = %d, want 9", got)
+	}
+}
+
+func TestParseWildcardAndAttr(t *testing.T) {
+	q := parse(t, `/site/*/item/@id`)
+	if q.Root.Next.Tag != "*" || !q.Root.Next.IsWildcard() {
+		t.Fatalf("wildcard = %+v", q.Root.Next)
+	}
+	ret := q.Return()
+	if ret.Tag != "@id" || !ret.IsAttr() {
+		t.Fatalf("attr = %+v", ret)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",              // no path
+		"a/b",           // missing leading axis at top level
+		"/a[",           // unclosed predicate
+		"/a]",           // stray bracket
+		"/a=",           // missing literal
+		`/a="unclosed`,  // unterminated literal
+		"/a//",          // trailing axis
+		"//",            // no step
+		"/a[b and]",     // missing conjunct
+		"/a[]",          // empty predicate
+		"/@",            // bad attribute
+		"/a/b$",         // bad character
+		"/a /b extra x", // trailing garbage
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"/a/b/c",
+		"//a",
+		"//a/b//c",
+		`/a/b[c/d="x"][e]//f`,
+		`/a[//b="v"]/c`,
+		`/plays/play[title="Hamlet"]/act`,
+	}
+	for _, s := range cases {
+		q := parse(t, s)
+		got := q.String()
+		q2 := parse(t, got)
+		if q2.String() != got {
+			t.Errorf("round trip unstable: %q -> %q -> %q", s, got, q2.String())
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := parse(t, `/a/b[c="v"]/d`)
+	c := q.Clone()
+	c.Root.Next.Branches[0].Tag = "changed"
+	if q.Root.Next.Branches[0].Tag != "c" {
+		t.Fatal("clone aliases branches")
+	}
+	*c.Root.Next.Branches[0].Value = "other"
+	if *q.Root.Next.Branches[0].Value != "v" {
+		t.Fatal("clone aliases value pointer")
+	}
+	c.Root.Next.Next.Tag = "zzz"
+	if q.Return().Tag != "d" {
+		t.Fatal("clone aliases continuation")
+	}
+}
+
+func TestParseSuffixPath(t *testing.T) {
+	abs, tags, err := ParseSuffixPath("/a/b/c")
+	if err != nil || !abs || !reflect.DeepEqual(tags, []string{"a", "b", "c"}) {
+		t.Fatalf("got %v %v %v", abs, tags, err)
+	}
+	abs, tags, err = ParseSuffixPath("//x/y")
+	if err != nil || abs || !reflect.DeepEqual(tags, []string{"x", "y"}) {
+		t.Fatalf("got %v %v %v", abs, tags, err)
+	}
+	for _, bad := range []string{"/a//b", "/a[b]", `/a="v"`, "/a/*"} {
+		if _, _, err := ParseSuffixPath(bad); err == nil {
+			t.Errorf("ParseSuffixPath(%q) succeeded", bad)
+		}
+	}
+}
+
+const sampleDoc = `
+<proteinDatabase>
+  <proteinEntry>
+    <protein>
+      <name>cytochrome c [validated]</name>
+      <classification><superfamily>cytochrome c</superfamily></classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors><author>Evans, M.J.</author><author>Smith, K.</author></authors>
+        <year>2001</year>
+        <title>The human somatic cytochrome c gene</title>
+      </refinfo>
+    </reference>
+  </proteinEntry>
+  <proteinEntry>
+    <protein>
+      <name>hemoglobin</name>
+      <classification><superfamily>globin</superfamily></classification>
+    </protein>
+    <reference>
+      <refinfo>
+        <authors><author>Jones, A.</author></authors>
+        <year>2001</year>
+        <title>Other paper</title>
+      </refinfo>
+    </reference>
+  </proteinEntry>
+</proteinDatabase>`
+
+func evalStrings(t *testing.T, doc *xmltree.Node, query string) []string {
+	t.Helper()
+	q := parse(t, query)
+	var out []string
+	for _, n := range Eval(doc, q) {
+		if n.Text != "" {
+			out = append(out, n.Text)
+		} else {
+			out = append(out, n.Tag)
+		}
+	}
+	return out
+}
+
+func TestEvalSimplePaths(t *testing.T) {
+	doc, err := xmltree.ParseString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalStrings(t, doc, "/proteinDatabase/proteinEntry/protein/name")
+	want := []string{"cytochrome c [validated]", "hemoglobin"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Root not matching.
+	if res := Eval(doc, parse(t, "/wrong/name")); len(res) != 0 {
+		t.Fatalf("got %d results for wrong root", len(res))
+	}
+}
+
+func TestEvalDescendant(t *testing.T) {
+	doc, _ := xmltree.ParseString(sampleDoc)
+	got := evalStrings(t, doc, "//superfamily")
+	want := []string{"cytochrome c", "globin"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	got = evalStrings(t, doc, "//refinfo//author")
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// Descendant in the middle.
+	got = evalStrings(t, doc, "/proteinDatabase//year")
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalPaperQuery(t *testing.T) {
+	doc, _ := xmltree.ParseString(sampleDoc)
+	got := evalStrings(t, doc, `/proteinDatabase/proteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`)
+	want := []string{"The human somatic cytochrome c gene"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Tighten the predicate so it excludes everything.
+	got = evalStrings(t, doc, `/proteinDatabase/proteinEntry[protein//superfamily="nope"]/reference/refinfo/title`)
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestEvalValueOnReturnNode(t *testing.T) {
+	doc, _ := xmltree.ParseString(sampleDoc)
+	got := evalStrings(t, doc, `//year="2001"`)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	got = evalStrings(t, doc, `//year="1999"`)
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b><x/></b><c><x/></c></a>`)
+	got := Eval(doc, parse(t, "/a/*/x"))
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// Wildcard must not match attributes.
+	doc2, _ := xmltree.ParseString(`<a id="1"><b/></a>`)
+	got = Eval(doc2, parse(t, "/a/*"))
+	if len(got) != 1 || got[0].Tag != "b" {
+		t.Fatalf("wildcard matched attributes: %v", got)
+	}
+}
+
+func TestEvalAttributes(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<site><person id="p1"><name>n1</name></person><person id="p2"/></site>`)
+	got := Eval(doc, parse(t, "/site/person/@id"))
+	if len(got) != 2 || got[0].Text != "p1" || got[1].Text != "p2" {
+		t.Fatalf("got %+v", got)
+	}
+	got = Eval(doc, parse(t, `/site/person[@id="p2"]`))
+	if len(got) != 1 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestEvalDeduplication(t *testing.T) {
+	// //a//b can reach the same b via multiple a ancestors; results must
+	// be deduplicated.
+	doc, _ := xmltree.ParseString(`<a><a><b/></a></a>`)
+	got := Eval(doc, parse(t, "//a//b"))
+	if len(got) != 1 {
+		t.Fatalf("got %d results, want 1 (dedup)", len(got))
+	}
+}
+
+func TestEvalDocOrder(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<r><x n="1"/><y><x n="2"/></y><x n="3"/></r>`)
+	got := Eval(doc, parse(t, "//x"))
+	var order []string
+	for _, n := range got {
+		for _, c := range n.Children {
+			order = append(order, c.Text)
+		}
+	}
+	if strings.Join(order, ",") != "1,2,3" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEvalRootReturn(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<r><x/></r>`)
+	got := Eval(doc, parse(t, "/r"))
+	if len(got) != 1 || got[0].Tag != "r" {
+		t.Fatalf("got %v", got)
+	}
+	got = Eval(doc, parse(t, "//r"))
+	if len(got) != 1 {
+		t.Fatalf("//r got %v", got)
+	}
+}
+
+func TestEvalBranchOnReturnNode(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<r><e><p/><q/></e><e><p/></e></r>`)
+	got := Eval(doc, parse(t, "/r/e[q]"))
+	if len(got) != 1 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestCountDescendantAndBranchEdges(t *testing.T) {
+	// Paper example Q (Fig. 3): d = 2 (protein//superfamily,
+	// refinfo//author), b = 4 (proteinEntry->protein? no: branching points
+	// are proteinEntry (children: protein branch, reference continuation)
+	// and refinfo (author branch, year branch, title continuation); child
+	// edges at those points: protein, reference, year, title = 4.
+	q := parse(t, `/proteinDatabase/proteinEntry[protein//superfamily="cytochrome c"]/reference/refinfo[//author="Evans, M.J." and year="2001"]/title`)
+	if d := q.CountDescendantEdges(); d != 2 {
+		t.Fatalf("d = %d, want 2", d)
+	}
+	if b := q.CountBranchEdges(); b != 4 {
+		t.Fatalf("b = %d, want 4", b)
+	}
+	// Suffix path: no branches, no interior descendants.
+	q2 := parse(t, "/a/b/c")
+	if q2.CountDescendantEdges() != 0 || q2.CountBranchEdges() != 0 {
+		t.Fatal("suffix path should have b = d = 0")
+	}
+}
+
+func TestEvalNilSafety(t *testing.T) {
+	if got := Eval(nil, MustParse("/a")); got != nil {
+		t.Fatal("nil doc should return nil")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not valid")
+}
