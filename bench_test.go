@@ -13,7 +13,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/enginetest"
 	"repro/internal/relengine"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/twig"
 	"repro/internal/xpath"
@@ -68,35 +70,35 @@ func benchPlan(b *testing.B, st *core.Store, query, translator string, strip boo
 func runRelational(b *testing.B, st *core.Store, plan *translate.Plan) {
 	b.Helper()
 	b.ReportAllocs()
+	var ctx *relstore.ExecContext
 	for i := 0; i < b.N; i++ {
 		if err := st.DropCaches(); err != nil {
 			b.Fatal(err)
 		}
-		st.ResetCounters()
-		if _, err := relengine.Execute(st, plan, relengine.Options{}); err != nil {
+		ctx = relstore.NewExecContext()
+		if _, err := relengine.Execute(ctx, st, plan, relengine.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	c := st.Snapshot()
-	b.ReportMetric(float64(c.Visited), "elements/op")
-	b.ReportMetric(float64(c.PageMisses), "diskaccess/op")
+	b.ReportMetric(float64(ctx.Visited()), "elements/op")
+	b.ReportMetric(float64(ctx.PageMisses()), "diskaccess/op")
 }
 
 func runTwig(b *testing.B, st *core.Store, plan *translate.Plan) {
 	b.Helper()
 	b.ReportAllocs()
+	var ctx *relstore.ExecContext
 	for i := 0; i < b.N; i++ {
 		if err := st.DropCaches(); err != nil {
 			b.Fatal(err)
 		}
-		st.ResetCounters()
-		if _, err := twig.Execute(st, plan); err != nil {
+		ctx = relstore.NewExecContext()
+		if _, err := twig.Execute(ctx, st, plan); err != nil {
 			b.Fatal(err)
 		}
 	}
-	c := st.Snapshot()
-	b.ReportMetric(float64(c.Visited), "elements/op")
-	b.ReportMetric(float64(c.PageMisses), "diskaccess/op")
+	b.ReportMetric(float64(ctx.Visited()), "elements/op")
+	b.ReportMetric(float64(ctx.PageMisses()), "diskaccess/op")
 }
 
 // BenchmarkFig11_PlanShapes measures query translation itself for QS3
@@ -214,6 +216,55 @@ func BenchmarkFig17_PathScale(b *testing.B) { scalability(b, "QA2") }
 // scales.
 func BenchmarkFig18_TwigScale(b *testing.B) { scalability(b, "QA3") }
 
+// BenchmarkParallelQuery compares sequential execution (Parallelism 1,
+// the paper's engine) against the GOMAXPROCS worker pool on
+// multi-fragment queries — the dlabel plans carry one tag scan per query
+// node plus D-joins, so both the fragment fan-out and the partitioned
+// merge join engage. Warm cache: the comparison isolates CPU work, and
+// both settings must produce identical result sets (start positions
+// compared once per query before its sub-benchmarks run).
+func BenchmarkParallelQuery(b *testing.B) {
+	st := benchStore(b, "auction", 3, 0)
+	for _, q := range []struct{ name, query, translator string }{
+		{"QA2/dlabel", bench.Fig10Queries["QA2"], "dlabel"},
+		{"QA3/dlabel", bench.Fig10Queries["QA3"], "dlabel"},
+		{"QA2/split", bench.Fig10Queries["QA2"], "split"},
+	} {
+		plan := benchPlan(b, st, q.query, q.translator, true)
+		seq, err := relengine.Execute(nil, st, plan, relengine.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := relengine.Execute(nil, st, plan, relengine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(seq.Records) == 0 {
+			b.Fatalf("%s: empty result set would benchmark no join work", q.name)
+		}
+		if !enginetest.StartsEqual(par.Starts(), seq.Starts()) {
+			b.Fatalf("%s: parallel %d results != sequential %d", q.name, len(par.Records), len(seq.Records))
+		}
+		for _, mode := range []struct {
+			name string
+			par  int
+		}{
+			{"seq", 1},
+			{"par2", 2},
+			{"parallel", 0}, // GOMAXPROCS
+		} {
+			b.Run(q.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := relengine.Execute(nil, st, plan, relengine.Options{Parallelism: mode.par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationDJoin compares the structural merge join against the
 // nested-loop D-join (the paper's premise that join implementation
 // matters, §1).
@@ -232,7 +283,7 @@ func BenchmarkAblationDJoin(b *testing.B) {
 				if err := st.DropCaches(); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := relengine.Execute(st, plan, mode.opts); err != nil {
+				if _, err := relengine.Execute(nil, st, plan, mode.opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -17,6 +17,18 @@
 // and recombined with structural D-joins — either on the built-in
 // relational engine or on a holistic twig join engine (§4, §5).
 //
+// # Concurrency
+//
+// A *Store is safe for concurrent use once built or opened: any number
+// of goroutines may call Query, Explain, Stats and the other read
+// methods simultaneously. Each Query gets its own execution context, so
+// the ExecStats in one result never include another query's work. The
+// relational engine additionally parallelizes a single query internally
+// — fragment selections and structural merge joins run under a bounded
+// worker pool sized by QueryOptions.Parallelism (default GOMAXPROCS;
+// 1 forces fully sequential execution). Close and DropCaches are the
+// exceptions: quiesce in-flight queries before calling them.
+//
 // # Quick start
 //
 //	store, err := blas.BuildFromFile("catalog.xml", blas.Options{Dir: "catalog.blas"})
@@ -52,7 +64,10 @@ type Options struct {
 	PoolPages int
 }
 
-// Store is an open BLAS store over one shredded document.
+// Store is an open BLAS store over one shredded document. After
+// BuildFromFile/BuildFromString/Open return, the Store is safe for
+// concurrent Query and Explain calls (see the package documentation's
+// Concurrency section).
 type Store struct {
 	inner *core.Store
 }
@@ -123,6 +138,11 @@ type QueryOptions struct {
 	// NestedLoopJoin forces the quadratic D-join (ablation; relational
 	// engine only).
 	NestedLoopJoin bool
+	// Parallelism bounds the worker pool one query may use for fragment
+	// scans and partitioned D-joins (relational engine only). 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the query fully sequentially. The
+	// result set is identical at every setting.
+	Parallelism int
 }
 
 // Match is one result node.
@@ -153,45 +173,45 @@ type ExecStats struct {
 	Note            string // plan degradation note, if any
 }
 
-// Query parses, translates and executes an XPath expression.
+// Query parses, translates and executes an XPath expression. It is safe
+// to call concurrently from any number of goroutines.
 func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 	plan, err := s.plan(query, opts)
 	if err != nil {
 		return nil, err
 	}
-	s.inner.ResetCounters()
+	ctx := relstore.NewExecContext()
 	begin := time.Now()
 
 	var recs []Match
 	switch engineOf(opts) {
 	case EngineTwig:
-		res, err := twig.Execute(s.inner, plan)
+		res, err := twig.Execute(ctx, s.inner, plan)
 		if err != nil {
 			return nil, err
 		}
 		recs = s.matches(res.Records)
 	default:
-		jo := relengine.Options{}
+		jo := relengine.Options{Parallelism: opts.Parallelism}
 		if opts.NestedLoopJoin {
 			jo.Join = relengine.NestedLoopJoin
 		}
-		res, err := relengine.Execute(s.inner, plan, jo)
+		res, err := relengine.Execute(ctx, s.inner, plan, jo)
 		if err != nil {
 			return nil, err
 		}
 		recs = s.matches(res.Records)
 	}
 	elapsed := time.Since(begin)
-	c := s.inner.Snapshot()
 	return &Result{
 		Matches: recs,
 		Stats: ExecStats{
 			Translator:      Translator(plan.Translator),
 			Engine:          engineOf(opts),
 			Elapsed:         elapsed,
-			VisitedElements: c.Visited,
-			PageReads:       c.PageReads,
-			PageMisses:      c.PageMisses,
+			VisitedElements: ctx.Visited(),
+			PageReads:       ctx.PageReads(),
+			PageMisses:      ctx.PageMisses(),
 			Joins:           plan.NumJoins(),
 			Note:            plan.Note,
 		},

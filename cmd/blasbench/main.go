@@ -26,6 +26,7 @@ func main() {
 	factorsStr := flag.String("factors", "1,2,3,4,5", "scale factors for figures 16-18")
 	repeats := flag.Int("repeats", 3, "cold-cache repetitions per measurement")
 	seed := flag.Int64("seed", 1, "data generator seed")
+	parallelism := flag.Int("parallelism", 0, "relational engine worker pool: 0 = GOMAXPROCS, 1 = sequential (the paper's setting)")
 	flag.Parse()
 
 	factors, err := parseFactors(*factorsStr)
@@ -35,6 +36,7 @@ func main() {
 	h := bench.New()
 	h.Repeats = *repeats
 	h.Seed = *seed
+	h.Parallelism = *parallelism
 	defer h.Close()
 
 	run := func(name string) error {

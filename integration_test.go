@@ -8,6 +8,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/enginetest"
 	"repro/internal/relengine"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/twig"
 	"repro/internal/xpath"
@@ -62,14 +63,14 @@ func TestPaperQueriesEndToEnd(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s: %v", query, trName, err)
 				}
-				rres, err := relengine.Execute(st, plan, relengine.Options{})
+				rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
 				if err != nil {
 					t.Fatalf("%s/%s relational: %v", query, trName, err)
 				}
 				if !enginetest.StartsEqual(rres.Starts(), want) {
 					t.Errorf("%s [%s, relational]: %d results, want %d", query, trName, len(rres.Starts()), len(want))
 				}
-				tres, err := twig.Execute(st, plan)
+				tres, err := twig.Execute(nil, st, plan)
 				if err != nil {
 					t.Fatalf("%s/%s twig: %v", query, trName, err)
 				}
@@ -107,12 +108,12 @@ func TestScalingIsLinearInResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st.ResetCounters()
-		res, err := relengine.Execute(st, plan, relengine.Options{})
+		ctx := relstore.NewExecContext()
+		res, err := relengine.Execute(ctx, st, plan, relengine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		visited[factor] = st.Snapshot().Visited
+		visited[factor] = ctx.Visited()
 		results[factor] = len(res.Records)
 		st.Close()
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/relengine"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/twig"
 	"repro/internal/xpath"
@@ -24,6 +25,9 @@ type Harness struct {
 	PoolPages int
 	// Seed feeds the data generators.
 	Seed int64
+	// Parallelism is handed to the relational engine (0 = GOMAXPROCS,
+	// 1 = sequential, the paper's original setting).
+	Parallelism int
 
 	stores map[string]*core.Store
 }
@@ -111,27 +115,26 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		if err := st.DropCaches(); err != nil {
 			return Measurement{}, err
 		}
-		st.ResetCounters()
+		ctx := relstore.NewExecContext()
 		begin := time.Now()
 		var results int
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(st, plan)
+			res, err := twig.Execute(ctx, st, plan)
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s twig: %w", queryName, translator, err)
 			}
 			results = len(res.Records)
 		default:
-			res, err := relengine.Execute(st, plan, relengine.Options{})
+			res, err := relengine.Execute(ctx, st, plan, relengine.Options{Parallelism: h.Parallelism})
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s relational: %w", queryName, translator, err)
 			}
 			results = len(res.Records)
 		}
 		times = append(times, time.Since(begin))
-		c := st.Snapshot()
-		m.Visited = c.Visited
-		m.PageMisses = c.PageMisses
+		m.Visited = ctx.Visited()
+		m.PageMisses = ctx.PageMisses()
 		m.Results = results
 	}
 	m.Elapsed = trimmedMean(times)

@@ -72,7 +72,7 @@ func TestSuffixPathSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := relstore.Collect(st.SP().ScanPLabelExact(lbl))
+	recs, err := relstore.Collect(st.SP().ScanPLabelExact(nil, lbl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +95,12 @@ func TestDLabelNesting(t *testing.T) {
 	if !ok {
 		t.Fatal("tag missing")
 	}
-	entries, err := relstore.Collect(st.SD().ScanTag(id))
+	entries, err := relstore.Collect(st.SD().ScanTag(nil, id))
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("entries: %d, %v", len(entries), err)
 	}
 	yid, _ := st.TagID("year")
-	years, err := relstore.Collect(st.SD().ScanTag(yid))
+	years, err := relstore.Collect(st.SD().ScanTag(nil, yid))
 	if err != nil || len(years) != 1 {
 		t.Fatalf("years: %d, %v", len(years), err)
 	}
@@ -128,7 +128,7 @@ func TestAttributesShredded(t *testing.T) {
 	if !ok {
 		t.Fatal("@id not in scheme")
 	}
-	attrs, err := relstore.Collect(st.SD().ScanTag(id))
+	attrs, err := relstore.Collect(st.SD().ScanTag(nil, id))
 	if err != nil || len(attrs) != 1 {
 		t.Fatalf("attrs: %d, %v", len(attrs), err)
 	}
@@ -176,11 +176,11 @@ func TestBuildFromReaderMatchesTree(t *testing.T) {
 	if st1.NodeCount() != st2.NodeCount() {
 		t.Fatalf("node counts differ: %d vs %d", st1.NodeCount(), st2.NodeCount())
 	}
-	r1, err := relstore.Collect(st1.SP().ScanAll())
+	r1, err := relstore.Collect(st1.SP().ScanAll(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := relstore.Collect(st2.SP().ScanAll())
+	r2, err := relstore.Collect(st2.SP().ScanAll(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestPersistAndOpen(t *testing.T) {
 		t.Fatal("schema lost")
 	}
 	lbl, _ := st2.Scheme().LabelPath([]string{"proteinDatabase", "proteinEntry", "protein", "name"})
-	recs, err := relstore.Collect(st2.SP().ScanPLabelExact(lbl))
+	recs, err := relstore.Collect(st2.SP().ScanPLabelExact(nil, lbl))
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("scan after reopen: %d, %v", len(recs), err)
 	}
@@ -254,19 +254,18 @@ func TestBuildFromFile(t *testing.T) {
 func TestCountersAndCaches(t *testing.T) {
 	st := buildSample(t)
 	defer st.Close()
-	st.ResetCounters()
 	if err := st.DropCaches(); err != nil {
 		t.Fatal(err)
 	}
+	ctx := relstore.NewExecContext()
 	lbl, _ := st.Scheme().LabelPath([]string{"proteinDatabase", "proteinEntry"})
-	if _, err := relstore.Collect(st.SP().ScanPLabelExact(lbl)); err != nil {
+	if _, err := relstore.Collect(st.SP().ScanPLabelExact(ctx, lbl)); err != nil {
 		t.Fatal(err)
 	}
-	c := st.Snapshot()
-	if c.Visited != 1 {
-		t.Fatalf("visited = %d, want 1", c.Visited)
+	if got := ctx.Visited(); got != 1 {
+		t.Fatalf("visited = %d, want 1", got)
 	}
-	if c.PageMisses == 0 {
+	if ctx.PageMisses() == 0 {
 		t.Fatal("expected cold-cache page misses")
 	}
 }

@@ -10,6 +10,12 @@
 //
 // SP serves the BLAS translators, SD the D-labeling baseline, so every
 // experiment in §5 runs against one store.
+//
+// A Store is immutable once built or opened and safe for any number of
+// concurrent readers. Per-query execution statistics (visited elements,
+// page reads/misses) live in the relstore.ExecContext each engine
+// threads through its scans — the store itself holds no query-scoped
+// mutable state.
 package core
 
 import (
@@ -84,39 +90,15 @@ func (s *Store) TagName(id uint32) (string, bool) {
 	return tags[id-1], true
 }
 
-// ResetCounters zeroes the visited-element counters and the buffer pool
-// statistics of both relations.
-func (s *Store) ResetCounters() {
-	s.sp.ResetCounters()
-	s.sd.ResetCounters()
-	s.spFile.ResetStats()
-	s.sdFile.ResetStats()
-}
-
 // DropCaches empties both buffer pools (the paper's experiments run on a
-// cold cache, §5.1).
+// cold cache, §5.1). Unlike queries, DropCaches is not meant to run
+// concurrently with in-flight scans: it is a benchmark-harness control,
+// not part of the serving path.
 func (s *Store) DropCaches() error {
 	if err := s.spFile.DropCache(); err != nil {
 		return err
 	}
 	return s.sdFile.DropCache()
-}
-
-// Counters is a snapshot of the store's access statistics.
-type Counters struct {
-	Visited    uint64 // records decoded by scans ("elements read")
-	PageReads  uint64
-	PageMisses uint64 // "disk accesses"
-}
-
-// Snapshot returns the current counters, aggregated over both relations.
-func (s *Store) Snapshot() Counters {
-	spst, sdst := s.spFile.Stats(), s.sdFile.Stats()
-	return Counters{
-		Visited:    s.sp.Visited() + s.sd.Visited(),
-		PageReads:  spst.Reads + sdst.Reads,
-		PageMisses: spst.Misses + sdst.Misses,
-	}
 }
 
 // Close flushes and closes the store files.

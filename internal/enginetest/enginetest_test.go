@@ -24,7 +24,7 @@ func TestLabelTreeMatchesShredder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it := st.SP().ScanPLabelExact(lbl)
+	it := st.SP().ScanPLabelExact(nil, lbl)
 	if !it.Next() {
 		t.Fatal("b not found in store")
 	}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes.
@@ -37,6 +38,26 @@ type Stats struct {
 
 // Hits returns the number of requests served from the pool.
 func (s Stats) Hits() uint64 { return s.Reads - s.Misses }
+
+// Counters accumulates page-access statistics for one caller — the
+// per-query attribution that File.Stats (a lifetime aggregate shared by
+// every reader of the file) cannot provide. A nil *Counters is valid and
+// discards the counts. Safe for concurrent use.
+type Counters struct {
+	Reads  atomic.Uint64 // page requests
+	Misses atomic.Uint64 // requests that went to the backing file
+}
+
+// count records one page request, nil-safely.
+func (c *Counters) count(miss bool) {
+	if c == nil {
+		return
+	}
+	c.Reads.Add(1)
+	if miss {
+		c.Misses.Add(1)
+	}
+}
 
 // backing abstracts the storage under a paged file.
 type backing interface {
@@ -208,9 +229,15 @@ func (f *File) Alloc() (PageID, error) {
 
 // Read copies page id into a caller-owned buffer of PageSize bytes.
 func (f *File) Read(id PageID, dst []byte) error {
+	return f.ReadCounted(id, dst, nil)
+}
+
+// ReadCounted is Read with per-caller page accounting: the request (and
+// miss, if any) is also recorded in c when c is non-nil.
+func (f *File) ReadCounted(id PageID, dst []byte, c *Counters) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fr, err := f.pageIn(id)
+	fr, err := f.pageIn(id, c)
 	if err != nil {
 		return err
 	}
@@ -221,8 +248,14 @@ func (f *File) Read(id PageID, dst []byte) error {
 // View calls fn with the contents of page id. The slice is only valid for
 // the duration of the call and must not be modified.
 func (f *File) View(id PageID, fn func(page []byte) error) error {
+	return f.ViewCounted(id, nil, fn)
+}
+
+// ViewCounted is View with per-caller page accounting into c (nil c
+// counts only into the file's lifetime Stats).
+func (f *File) ViewCounted(id PageID, c *Counters, fn func(page []byte) error) error {
 	f.mu.Lock()
-	fr, err := f.pageIn(id)
+	fr, err := f.pageIn(id, c)
 	if err != nil {
 		f.mu.Unlock()
 		return err
@@ -236,7 +269,7 @@ func (f *File) View(id PageID, fn func(page []byte) error) error {
 func (f *File) Update(id PageID, fn func(page []byte) error) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fr, err := f.pageIn(id)
+	fr, err := f.pageIn(id, nil)
 	if err != nil {
 		return err
 	}
@@ -246,16 +279,18 @@ func (f *File) Update(id PageID, fn func(page []byte) error) error {
 
 // pageIn returns the frame for id, fetching it on a miss.
 // Caller holds f.mu.
-func (f *File) pageIn(id PageID) (*frame, error) {
+func (f *File) pageIn(id PageID, c *Counters) (*frame, error) {
 	if id >= PageID(f.npages) {
 		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, f.npages)
 	}
 	f.stats.Reads++
 	if fr, ok := f.pool[id]; ok {
 		f.lruTouch(fr)
+		c.count(false)
 		return fr, nil
 	}
 	f.stats.Misses++
+	c.count(true)
 	fr, err := f.frameFor(id, true)
 	if err != nil {
 		return nil, err

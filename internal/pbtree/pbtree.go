@@ -257,9 +257,9 @@ type page struct {
 	slots []uint16
 }
 
-func (r *Reader) loadPage(id pager.PageID) (*page, error) {
+func (r *Reader) loadPage(id pager.PageID, c *pager.Counters) (*page, error) {
 	buf := make([]byte, pager.PageSize)
-	if err := r.f.Read(id, buf); err != nil {
+	if err := r.f.ReadCounted(id, buf, c); err != nil {
 		return nil, err
 	}
 	p := &page{typ: buf[0], data: buf}
@@ -308,7 +308,7 @@ func (p *page) search(key []byte) int {
 
 // Get returns the value stored under key.
 func (r *Reader) Get(key []byte) ([]byte, bool, error) {
-	p, err := r.leafFor(key)
+	p, err := r.leafFor(key, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -320,8 +320,8 @@ func (r *Reader) Get(key []byte) ([]byte, bool, error) {
 }
 
 // leafFor descends to the leaf that would contain key.
-func (r *Reader) leafFor(key []byte) (*page, error) {
-	p, err := r.loadPage(r.tree.Root)
+func (r *Reader) leafFor(key []byte, c *pager.Counters) (*page, error) {
+	p, err := r.loadPage(r.tree.Root, c)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +331,7 @@ func (r *Reader) leafFor(key []byte) (*page, error) {
 			// key is smaller than every key in the tree; descend leftmost.
 			i = 1
 		}
-		p, err = r.loadPage(p.child(i - 1))
+		p, err = r.loadPage(p.child(i-1), c)
 		if err != nil {
 			return nil, err
 		}
@@ -342,6 +342,7 @@ func (r *Reader) leafFor(key []byte) (*page, error) {
 // Iter iterates entries in key order.
 type Iter struct {
 	r    *Reader
+	c    *pager.Counters // per-caller page accounting, may be nil
 	p    *page
 	idx  int
 	to   []byte // exclusive; nil = unbounded
@@ -354,17 +355,23 @@ type Iter struct {
 // Scan returns an iterator over keys in [from, to). A nil from starts at
 // the smallest key; nil to means unbounded.
 func (r *Reader) Scan(from, to []byte) *Iter {
-	it := &Iter{r: r, to: to}
+	return r.ScanCounted(from, to, nil)
+}
+
+// ScanCounted is Scan with per-caller page accounting: every page the
+// scan touches (descent and leaf chain) is also recorded in c.
+func (r *Reader) ScanCounted(from, to []byte, c *pager.Counters) *Iter {
+	it := &Iter{r: r, c: c, to: to}
 	var p *page
 	var err error
 	if from == nil {
-		p, err = r.loadPage(r.tree.Root)
+		p, err = r.loadPage(r.tree.Root, c)
 		for err == nil && p.typ == pageTypeInner {
-			p, err = r.loadPage(p.child(0))
+			p, err = r.loadPage(p.child(0), c)
 		}
 		it.p, it.idx = p, 0
 	} else {
-		p, err = r.leafFor(from)
+		p, err = r.leafFor(from, c)
 		if err == nil {
 			i := p.search(from)
 			if i > 0 && bytes.Equal(p.key(i-1), from) {
@@ -405,7 +412,7 @@ func (it *Iter) Next() bool {
 			return false
 		}
 		var err error
-		it.p, err = it.r.loadPage(it.p.next)
+		it.p, err = it.r.loadPage(it.p.next, it.c)
 		if err != nil {
 			it.err = err
 			return false

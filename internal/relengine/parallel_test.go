@@ -1,0 +1,165 @@
+package relengine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enginetest"
+	"repro/internal/relstore"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestParallelMatchesSequential runs every translator over random
+// documents and queries at several parallelism levels; results must be
+// byte-identical to the sequential engine.
+func TestParallelMatchesSequential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	p := enginetest.DefaultDocParams()
+	for docIdx := 0; docIdx < 4; docIdx++ {
+		tree := enginetest.RandomDoc(rnd, p)
+		st, err := core.BuildFromTree(tree, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+		for qIdx := 0; qIdx < 20; qIdx++ {
+			query := enginetest.RandomQuery(rnd, p)
+			parsed := xpath.MustParse(query)
+			for _, trName := range []string{"dlabel", "split", "pushup", "unfold"} {
+				tr, _ := translate.ByName(trName)
+				plan, err := tr(ctx, parsed)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", query, trName, err)
+				}
+				seq, err := Execute(nil, st, plan, Options{Parallelism: 1})
+				if err != nil {
+					t.Fatalf("%s/%s sequential: %v", query, trName, err)
+				}
+				for _, par := range []int{2, 8} {
+					got, err := Execute(nil, st, plan, Options{Parallelism: par})
+					if err != nil {
+						t.Fatalf("%s/%s par=%d: %v", query, trName, par, err)
+					}
+					if !enginetest.StartsEqual(got.Starts(), seq.Starts()) {
+						t.Fatalf("%s [%s] par=%d: %d results != sequential %d",
+							query, trName, par, len(got.Records), len(seq.Records))
+					}
+				}
+			}
+		}
+		st.Close()
+	}
+}
+
+// TestPartitionedMergeJoinLargeInput forces the ancestor-interval
+// partitioning path (inputs above minParallelTuples/minParallelDescs)
+// and checks the join against both the sequential engine and the naive
+// reference evaluator.
+func TestPartitionedMergeJoinLargeInput(t *testing.T) {
+	// 200 sections × 8 items (with nested notes) → 200 ancestors and
+	// 1600+ descendants: well past both parallel thresholds.
+	doc := xmltree.New("db")
+	for s := 0; s < 200; s++ {
+		sec := doc.AppendNew("section")
+		for i := 0; i < 8; i++ {
+			item := sec.AppendNew("item")
+			item.AppendText("note", fmt.Sprintf("n%d", (s+i)%5))
+		}
+	}
+	st, err := core.BuildFromTree(doc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}
+
+	for _, query := range []string{"//section//note", "/db//item/note", "//section[item]//note"} {
+		want, err := enginetest.EvalStarts(doc, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, trName := range []string{"dlabel", "split"} {
+			tr, _ := translate.ByName(trName)
+			plan, err := tr(ctx, xpath.MustParse(query))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := Execute(nil, st, plan, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Execute(nil, st, plan, Options{Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !enginetest.StartsEqual(seq.Starts(), want) {
+				t.Fatalf("%s [%s] sequential: %d results, reference %d", query, trName, len(seq.Records), len(want))
+			}
+			if !enginetest.StartsEqual(par.Starts(), want) {
+				t.Fatalf("%s [%s] parallel: %d results, reference %d", query, trName, len(par.Records), len(want))
+			}
+		}
+	}
+}
+
+// TestStructuralMergeJoinChunking exercises the partitioned join
+// directly with synthetic nested intervals, comparing every worker count
+// against the sequential sweep.
+func TestStructuralMergeJoinChunking(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	// 300 disjoint ancestor intervals, each containing a random number of
+	// descendants, plus stray descendants outside any ancestor.
+	var tuples [][]relstore.Record
+	var descs []relstore.Record
+	pos := uint32(1)
+	for a := 0; a < 300; a++ {
+		ancStart := pos
+		pos++
+		n := rnd.Intn(8)
+		for d := 0; d < n; d++ {
+			descs = append(descs, relstore.Record{Start: pos, End: pos + 1, Level: 3, TagID: 2})
+			pos += 2
+		}
+		tuples = append(tuples, []relstore.Record{{Start: ancStart, End: pos, Level: 2, TagID: 1}})
+		pos++
+		if a%7 == 0 { // a descendant between ancestors: matches nothing
+			descs = append(descs, relstore.Record{Start: pos, End: pos + 1, Level: 3, TagID: 2})
+			pos += 2
+		}
+	}
+	// Shuffle desc order: the join must sort.
+	rnd.Shuffle(len(descs), func(i, j int) { descs[i], descs[j] = descs[j], descs[i] })
+
+	j := translate.Join{Anc: 0, Desc: 1, Gap: 1}
+	clone := func(ts [][]relstore.Record) [][]relstore.Record {
+		out := make([][]relstore.Record, len(ts))
+		for i, t := range ts {
+			out[i] = append([]relstore.Record(nil), t...)
+		}
+		return out
+	}
+	want := structuralMergeJoin(clone(tuples), 0, append([]relstore.Record(nil), descs...), j, 1)
+	if len(want) == 0 {
+		t.Fatal("sequential join found nothing — test data broken")
+	}
+	key := func(t []relstore.Record) [2]uint32 { return [2]uint32{t[0].Start, t[1].Start} }
+	wantSet := map[[2]uint32]bool{}
+	for _, tp := range want {
+		wantSet[key(tp)] = true
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		got := structuralMergeJoin(clone(tuples), 0, append([]relstore.Record(nil), descs...), j, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for _, tp := range got {
+			if !wantSet[key(tp)] {
+				t.Fatalf("workers=%d: unexpected pair %v", workers, key(tp))
+			}
+		}
+	}
+}

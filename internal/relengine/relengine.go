@@ -5,11 +5,27 @@
 // (Al-Khalifa et al., "stack-tree" family) that runs in
 // O(inputs + output); a nested-loop D-join is provided for the ablation
 // benchmark.
+//
+// Execution is data-parallel where the plan is embarrassingly parallel
+// (cf. Sato et al., "Parallelization of XPath Queries using Modern
+// XQuery Processors", arXiv:1806.07728): fragment selections are
+// independent of each other and run concurrently under a bounded worker
+// pool, and the structural merge join partitions its ancestor input by
+// interval — descendants fall into exactly one partition's interval
+// span, so partitions merge independently. Options.Parallelism bounds
+// the pool; 1 recovers the fully sequential engine.
+//
+// Per-query statistics accumulate in the relstore.ExecContext threaded
+// through every scan, so concurrent Execute calls against one store
+// never interfere.
 package relengine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/relstore"
@@ -28,6 +44,18 @@ const (
 // Options configures execution.
 type Options struct {
 	Join JoinAlgorithm
+	// Parallelism bounds the worker pool used for fragment scans and for
+	// partitioned merge joins. 0 selects runtime.GOMAXPROCS(0); 1 runs
+	// the engine fully sequentially. The result is identical either way.
+	Parallelism int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result holds a query's answer.
@@ -46,22 +74,24 @@ func (r *Result) Starts() []uint32 {
 	return out
 }
 
-// Execute runs a plan against a store.
-func Execute(st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
+// Execute runs a plan against a store. Statistics accumulate in ctx
+// (nil discards them). Execute is safe to call concurrently with any
+// other reads of the same store, provided each call gets its own ctx.
+func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
 	if p.Empty() {
 		return &Result{}, nil
 	}
+	workers := opts.workers()
+
 	// Evaluate every fragment.
-	bindings := make([][]relstore.Record, len(p.Fragments))
-	for i, f := range p.Fragments {
-		recs, err := scanFragment(st, f)
-		if err != nil {
-			return nil, err
-		}
-		if len(recs) == 0 {
+	bindings, err := scanFragments(ctx, st, p.Fragments, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bindings {
+		if len(b) == 0 {
 			return &Result{}, nil
 		}
-		bindings[i] = recs
 	}
 
 	if len(p.Joins) == 0 {
@@ -83,15 +113,11 @@ func Execute(st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("relengine: join order is not a tree (fragment %d not yet bound)", j.Anc)
 		}
-		var err error
 		switch opts.Join {
 		case NestedLoopJoin:
 			tuples = nestedLoopJoin(tuples, ancCol, bindings[j.Desc], j)
 		default:
-			tuples, err = structuralMergeJoin(tuples, ancCol, bindings[j.Desc], j)
-			if err != nil {
-				return nil, err
-			}
+			tuples = structuralMergeJoin(tuples, ancCol, bindings[j.Desc], j, workers)
 		}
 		cols[j.Desc] = len(cols)
 		if len(tuples) == 0 {
@@ -110,16 +136,75 @@ func Execute(st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
 	return &Result{Records: finalize(out)}, nil
 }
 
+// scanFragments evaluates all fragment selections, concurrently when the
+// worker budget allows. Fragments are independent selections, so this is
+// the embarrassingly-parallel part of every plan.
+func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate.Fragment, workers int) ([][]relstore.Record, error) {
+	bindings := make([][]relstore.Record, len(frags))
+	if workers <= 1 || len(frags) == 1 {
+		for i, f := range frags {
+			recs, err := scanFragment(ctx, st, f)
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) == 0 {
+				// Empty selection: the whole plan is empty, skip the rest.
+				return bindings, nil
+			}
+			bindings[i] = recs
+		}
+		return bindings, nil
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var anyEmpty atomic.Bool
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f *translate.Fragment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Best-effort short-circuit: an already-finished empty fragment
+			// makes the whole plan empty, so skip scans that have not
+			// started yet (mirrors the sequential path's early return).
+			if anyEmpty.Load() {
+				return
+			}
+			recs, err := scanFragment(ctx, st, f)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			if len(recs) == 0 {
+				anyEmpty.Store(true)
+			}
+			bindings[i] = recs
+		}(i, f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return bindings, nil
+}
+
 // scanFragment evaluates one fragment's selection plus local predicates.
-func scanFragment(st *core.Store, f *translate.Fragment) ([]relstore.Record, error) {
+func scanFragment(ctx *relstore.ExecContext, st *core.Store, f *translate.Fragment) ([]relstore.Record, error) {
 	var its []relstore.Iter
 	switch f.Access.Kind {
 	case translate.AccessPLabelEq:
-		its = append(its, st.SP().ScanPLabelExact(f.Access.Range.Lo))
+		its = append(its, st.SP().ScanPLabelExact(ctx, f.Access.Range.Lo))
 	case translate.AccessPLabelRange:
 		// Range scans cover several plabel runs, each start-sorted; merge
 		// them at scan time so the structural joins get sorted input.
-		it, err := st.SP().ScanPLabelRangeByStart(f.Access.Range.Lo, f.Access.Range.Hi)
+		it, err := st.SP().ScanPLabelRangeByStart(ctx, f.Access.Range.Lo, f.Access.Range.Hi)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +212,7 @@ func scanFragment(st *core.Store, f *translate.Fragment) ([]relstore.Record, err
 	case translate.AccessPLabelSet:
 		runs := make([]relstore.Iter, 0, len(f.Access.Labels))
 		for _, l := range f.Access.Labels {
-			runs = append(runs, st.SP().ScanPLabelExact(l))
+			runs = append(runs, st.SP().ScanPLabelExact(ctx, l))
 		}
 		it, err := relstore.MergeByStart(runs)
 		if err != nil {
@@ -135,9 +220,9 @@ func scanFragment(st *core.Store, f *translate.Fragment) ([]relstore.Record, err
 		}
 		its = append(its, it)
 	case translate.AccessTag:
-		its = append(its, st.SD().ScanTag(f.Access.TagID))
+		its = append(its, st.SD().ScanTag(ctx, f.Access.TagID))
 	case translate.AccessAll:
-		its = append(its, st.SD().ScanStartRange(0, 0))
+		its = append(its, st.SD().ScanStartRange(ctx, 0, 0))
 	default:
 		return nil, fmt.Errorf("relengine: unknown access kind %v", f.Access.Kind)
 	}
@@ -181,16 +266,75 @@ func attrTagIDs(st *core.Store, f *translate.Fragment) map[uint32]bool {
 	return m
 }
 
+// Partition thresholds for the parallel merge join: below these input
+// sizes the goroutine overhead dominates the merge work.
+const (
+	minParallelTuples = 64
+	minParallelDescs  = 512
+)
+
 // structuralMergeJoin extends each tuple with the descendants of its
 // ancCol binding. Both inputs are sorted by start, then merged with a
 // stack of open ancestors: amortized linear plus output.
-func structuralMergeJoin(tuples [][]relstore.Record, ancCol int, descs []relstore.Record, j translate.Join) ([][]relstore.Record, error) {
+//
+// With workers > 1 and large-enough inputs, the sorted ancestor tuples
+// are split into contiguous chunks and merged concurrently. A descendant
+// d joins tuple t iff t.start < d.start < t.end, and every tuple lives
+// in exactly one chunk, so giving each chunk the descendant slice whose
+// starts fall inside the chunk's interval span [first start, max end)
+// reproduces the sequential pairing exactly, with no duplicates.
+func structuralMergeJoin(tuples [][]relstore.Record, ancCol int, descs []relstore.Record, j translate.Join, workers int) [][]relstore.Record {
 	sort.Slice(tuples, func(a, b int) bool { return tuples[a][ancCol].Start < tuples[b][ancCol].Start })
 	// Scans clustered by {plabel,start} are only start-sorted per plabel
 	// run; order the descendants by start. Records are fat (strings), so
 	// sort an index permutation instead of swapping them directly.
 	descs = sortedByStart(descs)
 
+	if workers <= 1 || len(tuples) < minParallelTuples || len(descs) < minParallelDescs {
+		return mergeJoinChunk(tuples, ancCol, descs, j)
+	}
+
+	chunks := workers
+	if chunks > len(tuples)/2 {
+		chunks = len(tuples) / 2
+	}
+	parts := make([][][]relstore.Record, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * len(tuples) / chunks
+		hi := (c + 1) * len(tuples) / chunks
+		wg.Add(1)
+		go func(c int, part [][]relstore.Record) {
+			defer wg.Done()
+			minStart := part[0][ancCol].Start
+			maxEnd := uint32(0)
+			for _, t := range part {
+				if t[ancCol].End > maxEnd {
+					maxEnd = t[ancCol].End
+				}
+			}
+			// Descendant candidates for this chunk: minStart < start < maxEnd.
+			from := sort.Search(len(descs), func(i int) bool { return descs[i].Start > minStart })
+			to := sort.Search(len(descs), func(i int) bool { return descs[i].Start >= maxEnd })
+			parts[c] = mergeJoinChunk(part, ancCol, descs[from:to], j)
+		}(c, tuples[lo:hi])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([][]relstore.Record, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// mergeJoinChunk runs the stack-based structural merge sweep over
+// start-sorted tuples and descendants.
+func mergeJoinChunk(tuples [][]relstore.Record, ancCol int, descs []relstore.Record, j translate.Join) [][]relstore.Record {
 	var out [][]relstore.Record
 	var stack [][]relstore.Record // open ancestor tuples, outermost first
 	ti := 0
@@ -226,7 +370,7 @@ func structuralMergeJoin(tuples [][]relstore.Record, ancCol int, descs []relstor
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // nestedLoopJoin is the quadratic D-join used by the ablation benchmark.

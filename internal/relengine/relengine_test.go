@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -67,7 +68,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 		if err != nil {
 			t.Fatalf("%s: translate %s: %v", name, query, err)
 		}
-		res, err := Execute(st, p, Options{})
+		res, err := Execute(nil, st, p, Options{})
 		if err != nil {
 			t.Fatalf("%s: execute %s: %v", name, query, err)
 		}
@@ -119,11 +120,11 @@ func TestNestedLoopJoinAgreesWithMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merge, err := Execute(st, p, Options{Join: MergeJoin})
+	merge, err := Execute(nil, st, p, Options{Join: MergeJoin})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := Execute(st, p, Options{Join: NestedLoopJoin})
+	nl, err := Execute(nil, st, p, Options{Join: NestedLoopJoin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,15 +188,15 @@ func TestEmptyPlanShortCircuits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.ResetCounters()
-	res, err := Execute(st, p, Options{})
+	ctx := relstore.NewExecContext()
+	res, err := Execute(ctx, st, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Records) != 0 {
 		t.Fatal("expected empty result")
 	}
-	if st.Snapshot().Visited != 0 {
+	if ctx.Visited() != 0 {
 		t.Fatal("empty plan should not touch the store")
 	}
 }
@@ -223,15 +224,15 @@ func TestVisitedElementsOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st.ResetCounters()
-		res, err := Execute(st, p, Options{})
+		ctx := relstore.NewExecContext()
+		res, err := Execute(ctx, st, p, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(res.Records) != 50 {
 			t.Fatalf("got %d results", len(res.Records))
 		}
-		return st.Snapshot().Visited
+		return ctx.Visited()
 	}
 	base := measure(translate.Baseline)
 	split := measure(translate.Split)

@@ -1,0 +1,71 @@
+package relstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pager"
+)
+
+// ExecContext accumulates the execution statistics of one query: the
+// visited-elements counter (the paper's "elements read" metric) and the
+// buffer-pool traffic of every page the query touches (the paper's "disk
+// accesses"). One context is created per query execution and threaded
+// through every scan iterator, so concurrent queries against one store
+// never observe each other's counters — this replaces the former
+// store-global ResetCounters/Snapshot protocol, which raced when two
+// queries were in flight.
+//
+// All methods are safe for concurrent use: a single query may fan its
+// fragment scans out over a worker pool, with every worker accumulating
+// into the same context. A nil *ExecContext is valid everywhere one is
+// accepted and simply discards the counts.
+type ExecContext struct {
+	visited atomic.Uint64
+	pages   pager.Counters
+}
+
+// NewExecContext returns a fresh context with all counters at zero.
+func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// Visited returns the number of records decoded by scans under this
+// context.
+func (c *ExecContext) Visited() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.visited.Load()
+}
+
+// PageReads returns the number of buffer-pool requests issued under this
+// context (heap fetches plus index traversal).
+func (c *ExecContext) PageReads() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.pages.Reads.Load()
+}
+
+// PageMisses returns the number of pool requests that went to the
+// backing file — the paper's disk-access metric.
+func (c *ExecContext) PageMisses() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.pages.Misses.Load()
+}
+
+// addVisited records one decoded record, nil-safely.
+func (c *ExecContext) addVisited() {
+	if c != nil {
+		c.visited.Add(1)
+	}
+}
+
+// pageCounters returns the context's page-counter sink for the pager
+// layer (nil when the context itself is nil).
+func (c *ExecContext) pageCounters() *pager.Counters {
+	if c == nil {
+		return nil
+	}
+	return &c.pages
+}

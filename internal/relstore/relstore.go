@@ -18,15 +18,15 @@
 //	data:    (data, start)      -> locator      — only non-empty values
 //
 // All reads go through the pager's buffer pool, and every record decoded
-// by a scan increments the relation's "elements visited" counter — the
-// two quantities the paper's experiments report.
+// by a scan is counted in the querying ExecContext — the two quantities
+// the paper's experiments report, attributed per query so that any
+// number of queries can run concurrently over one Relation.
 package relstore
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/keyenc"
 	"repro/internal/pager"
@@ -128,14 +128,15 @@ func decodeLocator(b []byte) Locator {
 
 const heapHeader = 2
 
-// Relation is an open node relation.
+// Relation is an open node relation. A Relation is immutable after Build
+// and safe for concurrent scans; per-query statistics accumulate in the
+// ExecContext each scan is given.
 type Relation struct {
 	f        *pager.File
 	meta     relMeta
 	cluster  *pbtree.Reader
 	startIdx *pbtree.Reader
 	dataIdx  *pbtree.Reader
-	visited  atomic.Uint64
 }
 
 type relMeta struct {
@@ -391,21 +392,15 @@ func (r *Relation) Kind() Clustering { return r.meta.kind }
 // Count returns the number of records.
 func (r *Relation) Count() uint64 { return r.meta.count }
 
-// Visited returns the number of records decoded by scans since the last
-// ResetCounters — the paper's "visited elements" metric.
-func (r *Relation) Visited() uint64 { return r.visited.Load() }
-
-// ResetCounters zeroes the visited-elements counter.
-func (r *Relation) ResetCounters() { r.visited.Store(0) }
-
 // File exposes the underlying paged file (for buffer-pool statistics and
 // cache control).
 func (r *Relation) File() *pager.File { return r.f }
 
-// fetch reads the record at loc.
-func (r *Relation) fetch(loc Locator) (Record, error) {
+// fetch reads the record at loc, accounting the page request and the
+// decoded record to ctx.
+func (r *Relation) fetch(ctx *ExecContext, loc Locator) (Record, error) {
 	var rec Record
-	err := r.f.View(loc.Page, func(p []byte) error {
+	err := r.f.ViewCounted(loc.Page, ctx.pageCounters(), func(p []byte) error {
 		n := int(binary.LittleEndian.Uint16(p[0:2]))
 		if int(loc.Slot) >= n {
 			return fmt.Errorf("relstore: slot %d out of range on page %d (%d records)", loc.Slot, loc.Page, n)
@@ -417,9 +412,9 @@ func (r *Relation) fetch(loc Locator) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	r.visited.Add(1)
+	ctx.addVisited()
 	return rec, nil
 }
 
 // Get fetches the record at loc (exported for engines that keep locators).
-func (r *Relation) Get(loc Locator) (Record, error) { return r.fetch(loc) }
+func (r *Relation) Get(ctx *ExecContext, loc Locator) (Record, error) { return r.fetch(ctx, loc) }

@@ -54,7 +54,7 @@ func TestBuildEmpty(t *testing.T) {
 	if r.Count() != 0 {
 		t.Fatal("count")
 	}
-	got, err := Collect(r.ScanAll())
+	got, err := Collect(r.ScanAll(nil))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("scan of empty relation: %d records, %v", len(got), err)
 	}
@@ -65,7 +65,7 @@ func TestScanAllOrdered(t *testing.T) {
 	// Shuffle the input: Build must sort.
 	rand.New(rand.NewSource(1)).Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
 	r := buildSP(t, recs)
-	got, err := Collect(r.ScanAll())
+	got, err := Collect(r.ScanAll(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestScanAllOrdered(t *testing.T) {
 
 func TestScanPLabelExact(t *testing.T) {
 	r := buildSP(t, makeRecords(100))
-	got, err := Collect(r.ScanPLabelExact(u(3)))
+	got, err := Collect(r.ScanPLabelExact(nil, u(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestScanPLabelExact(t *testing.T) {
 		}
 	}
 	// Missing plabel.
-	got, _ = Collect(r.ScanPLabelExact(u(99)))
+	got, _ = Collect(r.ScanPLabelExact(nil, u(99)))
 	if len(got) != 0 {
 		t.Fatalf("missing plabel returned %d records", len(got))
 	}
@@ -106,7 +106,7 @@ func TestScanPLabelExact(t *testing.T) {
 
 func TestScanPLabelRange(t *testing.T) {
 	r := buildSP(t, makeRecords(100))
-	got, err := Collect(r.ScanPLabelRange(u(2), u(4)))
+	got, err := Collect(r.ScanPLabelRange(nil, u(2), u(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +119,12 @@ func TestScanPLabelRange(t *testing.T) {
 		}
 	}
 	// Inclusive bounds.
-	got, _ = Collect(r.ScanPLabelRange(u(9), u(9)))
+	got, _ = Collect(r.ScanPLabelRange(nil, u(9), u(9)))
 	if len(got) != 10 {
 		t.Fatalf("inclusive range got %d", len(got))
 	}
 	// Empty range.
-	got, _ = Collect(r.ScanPLabelRange(u(50), u(60)))
+	got, _ = Collect(r.ScanPLabelRange(nil, u(50), u(60)))
 	if len(got) != 0 {
 		t.Fatalf("empty range got %d", len(got))
 	}
@@ -137,7 +137,7 @@ func TestScanTag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(r.ScanTag(3))
+	got, err := Collect(r.ScanTag(nil, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestScanTag(t *testing.T) {
 
 func TestScanData(t *testing.T) {
 	r := buildSP(t, makeRecords(130))
-	got, err := Collect(r.ScanData("val-5"))
+	got, err := Collect(r.ScanData(nil, "val-5"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestScanData(t *testing.T) {
 			t.Fatal("data scan not start-ordered")
 		}
 	}
-	if got, _ := Collect(r.ScanData("absent")); len(got) != 0 {
+	if got, _ := Collect(r.ScanData(nil, "absent")); len(got) != 0 {
 		t.Fatal("absent value matched")
 	}
 }
@@ -185,7 +185,7 @@ func TestEmptyDataNotIndexed(t *testing.T) {
 		{PLabel: u(2), TagID: 1, Start: 3, End: 4, Level: 1, Data: "x"},
 	}
 	r := buildSP(t, recs)
-	got, _ := Collect(r.ScanData(""))
+	got, _ := Collect(r.ScanData(nil, ""))
 	if len(got) != 0 {
 		t.Fatalf("empty data indexed: %d", len(got))
 	}
@@ -193,7 +193,7 @@ func TestEmptyDataNotIndexed(t *testing.T) {
 
 func TestScanStartRange(t *testing.T) {
 	r := buildSP(t, makeRecords(50))
-	got, err := Collect(r.ScanStartRange(11, 21))
+	got, err := Collect(r.ScanStartRange(nil, 11, 21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestScanStartRange(t *testing.T) {
 
 func TestDistinctPLabels(t *testing.T) {
 	r := buildSP(t, makeRecords(100))
-	got, err := r.DistinctPLabels(u(2), u(7))
+	got, err := r.DistinctPLabels(nil, u(2), u(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestScanPLabelRangeByStart(t *testing.T) {
 		}
 	}
 	r := buildSP(t, recs)
-	it, err := r.ScanPLabelRangeByStart(u(1), u(3))
+	it, err := r.ScanPLabelRangeByStart(nil, u(1), u(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestScanPLabelRangeByStart(t *testing.T) {
 		}
 	}
 	// Single-plabel fast path.
-	it, err = r.ScanPLabelRangeByStart(u(2), u(2))
+	it, err = r.ScanPLabelRangeByStart(nil, u(2), u(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestScanPLabelRangeByStart(t *testing.T) {
 		t.Fatalf("single-run got %d", len(got))
 	}
 	// Empty range.
-	it, err = r.ScanPLabelRangeByStart(u(100), u(200))
+	it, err = r.ScanPLabelRangeByStart(nil, u(100), u(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,16 +275,41 @@ func TestScanPLabelRangeByStart(t *testing.T) {
 
 func TestVisitedCounter(t *testing.T) {
 	r := buildSP(t, makeRecords(100))
-	r.ResetCounters()
-	if _, err := Collect(r.ScanPLabelExact(u(1))); err != nil {
+	ctx := NewExecContext()
+	if _, err := Collect(r.ScanPLabelExact(ctx, u(1))); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.Visited(); got != 10 {
+	if got := ctx.Visited(); got != 10 {
 		t.Fatalf("visited = %d, want 10", got)
 	}
-	r.ResetCounters()
-	if r.Visited() != 0 {
-		t.Fatal("reset failed")
+	if ctx.PageReads() == 0 {
+		t.Fatal("scan recorded no page reads in its context")
+	}
+	// A fresh context starts at zero — and a nil context is valid.
+	if NewExecContext().Visited() != 0 {
+		t.Fatal("fresh context not zero")
+	}
+	if _, err := Collect(r.ScanPLabelExact(nil, u(1))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecContextIsolation(t *testing.T) {
+	// Two contexts scanning the same relation never see each other's
+	// counts — the property the old store-global counters lacked.
+	r := buildSP(t, makeRecords(100))
+	a, b := NewExecContext(), NewExecContext()
+	if _, err := Collect(r.ScanPLabelExact(a, u(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(r.ScanPLabelRange(b, u(2), u(4))); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Visited(); got != 10 {
+		t.Fatalf("ctx a visited = %d, want 10", got)
+	}
+	if got := b.Visited(); got != 30 {
+		t.Fatalf("ctx b visited = %d, want 30", got)
 	}
 }
 
@@ -315,7 +340,7 @@ func TestPersistenceAcrossOpen(t *testing.T) {
 	if r.Count() != 300 {
 		t.Fatalf("count after reopen = %d", r.Count())
 	}
-	got, err := Collect(r.ScanPLabelExact(u(7)))
+	got, err := Collect(r.ScanPLabelExact(nil, u(7)))
 	if err != nil || len(got) != 10 {
 		t.Fatalf("scan after reopen: %d, %v", len(got), err)
 	}
@@ -340,7 +365,7 @@ func TestLargeDataValues(t *testing.T) {
 		{PLabel: u(2), TagID: 1, Start: 3, End: 4, Level: 1, Data: "small"},
 	}
 	r := buildSP(t, recs)
-	got, err := Collect(r.ScanAll())
+	got, err := Collect(r.ScanAll(nil))
 	if err != nil || len(got) != 2 {
 		t.Fatalf("got %d, %v", len(got), err)
 	}
@@ -379,7 +404,7 @@ func TestClusteringReducesPageMisses(t *testing.T) {
 	}
 	_ = f.DropCache()
 	f.ResetStats()
-	got, err := Collect(r.ScanPLabelExact(u(5)))
+	got, err := Collect(r.ScanPLabelExact(nil, u(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +439,7 @@ func BenchmarkScanPLabelExact(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it := r.ScanPLabelExact(u(uint64(i % 10000)))
+		it := r.ScanPLabelExact(nil, u(uint64(i%10000)))
 		for it.Next() {
 		}
 		if it.Err() != nil {
@@ -431,7 +456,7 @@ func TestScanOrderedAfterShuffledBuildByTag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(r.ScanAll())
+	got, err := Collect(r.ScanAll(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

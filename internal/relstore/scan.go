@@ -8,6 +8,12 @@ import (
 )
 
 // Iter is a record iterator. All scan methods return one.
+//
+// Every scan takes the query's *ExecContext as its first argument; the
+// records it decodes and the pages it touches are accounted there. A nil
+// context is valid and discards the counts. Iterators are not safe for
+// concurrent use themselves, but any number of iterators — sharing a
+// context or not — may run concurrently over one Relation.
 type Iter interface {
 	// Next advances to the next record, returning false at the end or on
 	// error (check Err).
@@ -21,6 +27,7 @@ type Iter interface {
 // indexIter fetches records addressed by an index iterator.
 type indexIter struct {
 	r    *Relation
+	ctx  *ExecContext
 	it   interface{ Next() bool }
 	key  func() []byte
 	val  func() []byte
@@ -39,7 +46,7 @@ func (s *indexIter) Next() bool {
 		return false
 	}
 	loc := decodeLocator(s.val())
-	s.rec, s.err = s.r.fetch(loc)
+	s.rec, s.err = s.r.fetch(s.ctx, loc)
 	return s.err == nil
 }
 
@@ -47,53 +54,53 @@ func (s *indexIter) Record() Record { return s.rec }
 func (s *indexIter) Err() error     { return s.err }
 
 // scanClusterRange returns records whose cluster key lies in [from, to).
-func (r *Relation) scanClusterRange(from, to []byte) Iter {
-	it := r.cluster.Scan(from, to)
-	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+func (r *Relation) scanClusterRange(ctx *ExecContext, from, to []byte) Iter {
+	it := r.cluster.ScanCounted(from, to, ctx.pageCounters())
+	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
 }
 
 // ScanAll iterates every record in cluster-key order.
-func (r *Relation) ScanAll() Iter { return r.scanClusterRange(nil, nil) }
+func (r *Relation) ScanAll(ctx *ExecContext) Iter { return r.scanClusterRange(ctx, nil, nil) }
 
 // ScanPLabelRange iterates records with lo <= plabel <= hi, in
 // (plabel, start) order. The relation must be plabel-clustered.
-func (r *Relation) ScanPLabelRange(lo, hi uint128.Uint128) Iter {
+func (r *Relation) ScanPLabelRange(ctx *ExecContext, lo, hi uint128.Uint128) Iter {
 	from := keyenc.Uint128(lo)
 	to := keyenc.PrefixSuccessor(keyenc.Uint128(hi))
-	return r.scanClusterRange(from, to)
+	return r.scanClusterRange(ctx, from, to)
 }
 
 // ScanPLabelExact iterates records with plabel == p, in start order.
-func (r *Relation) ScanPLabelExact(p uint128.Uint128) Iter {
+func (r *Relation) ScanPLabelExact(ctx *ExecContext, p uint128.Uint128) Iter {
 	prefix := keyenc.Uint128(p)
-	return r.scanClusterRange(prefix, keyenc.PrefixSuccessor(prefix))
+	return r.scanClusterRange(ctx, prefix, keyenc.PrefixSuccessor(prefix))
 }
 
 // ScanTag iterates records with the given tag id, in start order. The
 // relation must be tag-clustered.
-func (r *Relation) ScanTag(tagID uint32) Iter {
+func (r *Relation) ScanTag(ctx *ExecContext, tagID uint32) Iter {
 	prefix := keyenc.Uint32(tagID)
-	return r.scanClusterRange(prefix, keyenc.PrefixSuccessor(prefix))
+	return r.scanClusterRange(ctx, prefix, keyenc.PrefixSuccessor(prefix))
 }
 
 // ScanData iterates records whose data equals value, in start order,
 // using the data index.
-func (r *Relation) ScanData(value string) Iter {
+func (r *Relation) ScanData(ctx *ExecContext, value string) Iter {
 	prefix := keyenc.String(value)
-	it := r.dataIdx.Scan(prefix, keyenc.PrefixSuccessor(prefix))
-	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+	it := r.dataIdx.ScanCounted(prefix, keyenc.PrefixSuccessor(prefix), ctx.pageCounters())
+	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
 }
 
 // ScanStartRange iterates records with lo <= start < hi via the start
 // index (hi == 0 means unbounded).
-func (r *Relation) ScanStartRange(lo, hi uint32) Iter {
+func (r *Relation) ScanStartRange(ctx *ExecContext, lo, hi uint32) Iter {
 	from := keyenc.Uint32(lo)
 	var to []byte
 	if hi != 0 {
 		to = keyenc.Uint32(hi)
 	}
-	it := r.startIdx.Scan(from, to)
-	return &indexIter{r: r, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+	it := r.startIdx.ScanCounted(from, to, ctx.pageCounters())
+	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
 }
 
 // --- start-ordered merge over a plabel range ---
@@ -101,12 +108,12 @@ func (r *Relation) ScanStartRange(lo, hi uint32) Iter {
 // DistinctPLabels enumerates the distinct plabel values present in
 // [lo, hi] using a skip scan over the clustered index: only the first
 // entry of each run is touched.
-func (r *Relation) DistinctPLabels(lo, hi uint128.Uint128) ([]uint128.Uint128, error) {
+func (r *Relation) DistinctPLabels(ctx *ExecContext, lo, hi uint128.Uint128) ([]uint128.Uint128, error) {
 	var out []uint128.Uint128
 	cur := keyenc.Uint128(lo)
 	end := keyenc.PrefixSuccessor(keyenc.Uint128(hi))
 	for {
-		it := r.cluster.Scan(cur, end)
+		it := r.cluster.ScanCounted(cur, end, ctx.pageCounters())
 		if !it.Next() {
 			if err := it.Err(); err != nil {
 				return nil, err
@@ -130,17 +137,17 @@ func (r *Relation) DistinctPLabels(lo, hi uint128.Uint128) ([]uint128.Uint128, e
 //
 // The holistic twig join engine consumes these streams: TwigStack needs
 // each query node's input sorted by start position.
-func (r *Relation) ScanPLabelRangeByStart(lo, hi uint128.Uint128) (Iter, error) {
-	plabels, err := r.DistinctPLabels(lo, hi)
+func (r *Relation) ScanPLabelRangeByStart(ctx *ExecContext, lo, hi uint128.Uint128) (Iter, error) {
+	plabels, err := r.DistinctPLabels(ctx, lo, hi)
 	if err != nil {
 		return nil, err
 	}
 	if len(plabels) == 1 {
-		return r.ScanPLabelExact(plabels[0]), nil
+		return r.ScanPLabelExact(ctx, plabels[0]), nil
 	}
 	runs := make([]Iter, 0, len(plabels))
 	for _, p := range plabels {
-		runs = append(runs, r.ScanPLabelExact(p))
+		runs = append(runs, r.ScanPLabelExact(ctx, p))
 	}
 	return MergeByStart(runs)
 }

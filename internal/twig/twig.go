@@ -51,11 +51,13 @@ func (r *Result) Starts() []uint32 {
 }
 
 // Execute runs a plan against a store using the holistic twig join.
-func Execute(st *core.Store, p *translate.Plan) (*Result, error) {
+// Statistics accumulate in ctx (nil discards them); one ctx per call
+// makes concurrent Execute calls over one store safe.
+func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*Result, error) {
 	if p.Empty() {
 		return &Result{}, nil
 	}
-	eng, err := build(st, p)
+	eng, err := build(ctx, st, p)
 	if err != nil {
 		return nil, err
 	}
@@ -94,11 +96,11 @@ type engine struct {
 	leaves []*tnode
 }
 
-func build(st *core.Store, p *translate.Plan) (*engine, error) {
+func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engine, error) {
 	eng := &engine{st: st, plan: p}
 	eng.nodes = make([]*tnode, len(p.Fragments))
 	for i, f := range p.Fragments {
-		it, err := openStream(st, f)
+		it, err := openStream(ctx, st, f)
 		if err != nil {
 			return nil, err
 		}
@@ -150,24 +152,24 @@ func build(st *core.Store, p *translate.Plan) (*engine, error) {
 
 // openStream builds the document-order stream for a fragment, with the
 // fragment's local predicates applied.
-func openStream(st *core.Store, f *translate.Fragment) (relstore.Iter, error) {
+func openStream(ctx *relstore.ExecContext, st *core.Store, f *translate.Fragment) (relstore.Iter, error) {
 	var it relstore.Iter
 	var err error
 	switch f.Access.Kind {
 	case translate.AccessPLabelEq:
-		it = st.SP().ScanPLabelExact(f.Access.Range.Lo)
+		it = st.SP().ScanPLabelExact(ctx, f.Access.Range.Lo)
 	case translate.AccessPLabelRange:
-		it, err = st.SP().ScanPLabelRangeByStart(f.Access.Range.Lo, f.Access.Range.Hi)
+		it, err = st.SP().ScanPLabelRangeByStart(ctx, f.Access.Range.Lo, f.Access.Range.Hi)
 	case translate.AccessPLabelSet:
 		runs := make([]relstore.Iter, 0, len(f.Access.Labels))
 		for _, l := range f.Access.Labels {
-			runs = append(runs, st.SP().ScanPLabelExact(l))
+			runs = append(runs, st.SP().ScanPLabelExact(ctx, l))
 		}
 		it, err = relstore.MergeByStart(runs)
 	case translate.AccessTag:
-		it = st.SD().ScanTag(f.Access.TagID)
+		it = st.SD().ScanTag(ctx, f.Access.TagID)
 	case translate.AccessAll:
-		it = st.SD().ScanStartRange(0, 0) // start index: document order
+		it = st.SD().ScanStartRange(ctx, 0, 0) // start index: document order
 	default:
 		return nil, fmt.Errorf("twig: unknown access kind %v", f.Access.Kind)
 	}

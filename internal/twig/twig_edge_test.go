@@ -45,7 +45,7 @@ func TestManyLeavesSharedPrefix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
-			res, err := Execute(st, plan)
+			res, err := Execute(nil, st, plan)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
@@ -87,14 +87,14 @@ func TestUnfoldFallbackEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, err := relengine.Execute(st, plan, relengine.Options{})
+	rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !enginetest.StartsEqual(rres.Starts(), want) {
 		t.Fatalf("relational fallback wrong: got %v want %v", rres.Starts(), want)
 	}
-	tres, err := Execute(st, plan)
+	tres, err := Execute(nil, st, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +127,14 @@ func TestPLabelSetStreams(t *testing.T) {
 		t.Fatalf("expected a plabel-set fragment, got %v\n%s", ret.Access.Kind, plan)
 	}
 	want, _ := enginetest.EvalStarts(tree, q)
-	res, err := Execute(st, plan)
+	res, err := Execute(nil, st, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !enginetest.StartsEqual(res.Starts(), want) {
 		t.Fatalf("twig set-scan: got %v want %v", res.Starts(), want)
 	}
-	rres, err := relengine.Execute(st, plan, relengine.Options{})
+	rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestDeepRecursionStress(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := Execute(st, plan)
+				res, err := Execute(nil, st, plan)
 				if err != nil {
 					t.Fatalf("%s/%s: %v", qs, trName, err)
 				}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enginetest"
 	"repro/internal/relengine"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -64,7 +65,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 		if err != nil {
 			t.Fatalf("%s: translate %s: %v", name, query, err)
 		}
-		res, err := Execute(st, p)
+		res, err := Execute(nil, st, p)
 		if err != nil {
 			t.Fatalf("%s: twig execute %s: %v", name, query, err)
 		}
@@ -73,7 +74,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 				enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want), p)
 		}
 		// Cross-check against the relational engine on the same plan.
-		rres, err := relengine.Execute(st, p, relengine.Options{})
+		rres, err := relengine.Execute(nil, st, p, relengine.Options{})
 		if err != nil {
 			t.Fatalf("%s: relengine on same plan: %v", name, err)
 		}
@@ -176,11 +177,11 @@ func TestElementsReadAdvantage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st.ResetCounters()
-		if _, err := Execute(st, p); err != nil {
+		ctx := relstore.NewExecContext()
+		if _, err := Execute(ctx, st, p); err != nil {
 			t.Fatal(err)
 		}
-		return st.Snapshot().Visited
+		return ctx.Visited()
 	}
 	q := "/db/entry/protein/name"
 	base := measure(translate.Baseline, q)
@@ -200,7 +201,7 @@ func TestEmptyPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Execute(st, p)
+	res, err := Execute(nil, st, p)
 	if err != nil {
 		t.Fatal(err)
 	}
