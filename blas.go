@@ -26,8 +26,17 @@
 // relational engine additionally parallelizes a single query internally
 // — fragment selections and structural merge joins run under a bounded
 // worker pool sized by QueryOptions.Parallelism (default GOMAXPROCS;
-// 1 forces fully sequential execution). Close and DropCaches are the
-// exceptions: quiesce in-flight queries before calling them.
+// 1 forces fully sequential execution). The storage layer scales with
+// that parallelism: each relation file's buffer pool is sharded
+// (Options.PoolShards) and page views pin frames instead of holding a
+// pool-wide lock, so concurrent scans overlap their page decoding and
+// backing-store misses.
+//
+// Close tracks in-flight queries with a refcount: it blocks until every
+// active Query has returned, and any Query or DropCaches call issued
+// after Close has begun fails with ErrClosed. DropCaches may run
+// concurrently with queries — it is memory-safe, though it inflates the
+// miss counts those queries observe.
 //
 // # Quick start
 //
@@ -40,8 +49,11 @@
 package blas
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -62,7 +74,16 @@ type Options struct {
 	// PoolPages sets the buffer pool capacity per relation file in 8 KiB
 	// pages (0 = default, 512 pages = 4 MiB).
 	PoolPages int
+	// PoolShards sets the number of lock-striped buffer pool shards per
+	// relation file (0 = default: the next power of two >= GOMAXPROCS,
+	// capped at PoolPages). More shards reduce lock contention between
+	// concurrent scans; the default is right for almost everyone.
+	PoolShards int
 }
+
+// ErrClosed is returned by Query, Explain and DropCaches once Close has
+// been called on the Store.
+var ErrClosed = errors.New("blas: store is closed")
 
 // Store is an open BLAS store over one shredded document. After
 // BuildFromFile/BuildFromString/Open return, the Store is safe for
@@ -70,17 +91,54 @@ type Options struct {
 // Concurrency section).
 type Store struct {
 	inner *core.Store
+
+	// Active-query refcount: Close waits for in-flight queries to drain
+	// instead of closing the files out from under them, and operations
+	// arriving after Close has begun fail with ErrClosed.
+	mu        sync.Mutex
+	idle      sync.Cond // signaled when active drops to zero and when closing completes
+	active    int
+	closed    bool
+	closeDone bool
+	closeErr  error
+}
+
+func newStore(inner *core.Store) *Store {
+	s := &Store{inner: inner}
+	s.idle.L = &s.mu
+	return s
+}
+
+// begin registers an in-flight operation, failing once Close has begun.
+func (s *Store) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.active++
+	return nil
+}
+
+// end retires an in-flight operation.
+func (s *Store) end() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
 }
 
 // BuildFromFile shreds the XML document at path into a new store. The
 // file is read twice (P-labeling needs the tag universe up front), in
 // streaming fashion.
 func BuildFromFile(path string, opts Options) (*Store, error) {
-	st, err := core.BuildFromFile(path, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	st, err := core.BuildFromFile(path, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages, PoolShards: opts.PoolShards})
 	if err != nil {
 		return nil, err
 	}
-	return &Store{inner: st}, nil
+	return newStore(st), nil
 }
 
 // BuildFromString shreds an XML document held in memory.
@@ -89,24 +147,52 @@ func BuildFromString(doc string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := core.BuildFromTree(tree, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	st, err := core.BuildFromTree(tree, core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages, PoolShards: opts.PoolShards})
 	if err != nil {
 		return nil, err
 	}
-	return &Store{inner: st}, nil
+	return newStore(st), nil
 }
 
 // Open opens a store previously built with a non-empty Options.Dir.
 func Open(opts Options) (*Store, error) {
-	st, err := core.Open(core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages})
+	st, err := core.Open(core.Options{Dir: opts.Dir, PoolPages: opts.PoolPages, PoolShards: opts.PoolShards})
 	if err != nil {
 		return nil, err
 	}
-	return &Store{inner: st}, nil
+	return newStore(st), nil
 }
 
-// Close flushes and closes the store.
-func (s *Store) Close() error { return s.inner.Close() }
+// Close flushes and closes the store. It waits for in-flight queries to
+// finish first; queries issued after Close has begun fail with
+// ErrClosed. Close is idempotent, and concurrent or repeated calls all
+// block until the store is actually closed, then return the same result
+// — a nil return always means the files are flushed and closed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		for !s.closeDone {
+			s.idle.Wait()
+		}
+		err := s.closeErr
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	for s.active > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+
+	err := s.inner.Close()
+
+	s.mu.Lock()
+	s.closeErr = err
+	s.closeDone = true
+	s.idle.Broadcast()
+	s.mu.Unlock()
+	return err
+}
 
 // Translator selects the query translation strategy (§4.1).
 type Translator string
@@ -163,9 +249,13 @@ type Result struct {
 
 // ExecStats describes one execution.
 type ExecStats struct {
-	Translator      Translator
-	Engine          Engine
-	Elapsed         time.Duration
+	Translator Translator
+	Engine     Engine
+	// Elapsed is the full query latency, measured from Query entry:
+	// parse + translate + execution.
+	Elapsed time.Duration
+	// PlanElapsed is the parse + translate share of Elapsed.
+	PlanElapsed     time.Duration
 	VisitedElements uint64 // records decoded from the relations
 	PageReads       uint64 // buffer pool requests
 	PageMisses      uint64 // buffer pool misses (the paper's disk accesses)
@@ -174,14 +264,24 @@ type ExecStats struct {
 }
 
 // Query parses, translates and executes an XPath expression. It is safe
-// to call concurrently from any number of goroutines.
+// to call concurrently from any number of goroutines. It returns
+// ErrClosed once Close has been called.
 func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("blas: QueryOptions.Parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", opts.Parallelism)
+	}
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+
+	begin := time.Now()
 	plan, err := s.plan(query, opts)
 	if err != nil {
 		return nil, err
 	}
+	planElapsed := time.Since(begin)
 	ctx := relstore.NewExecContext()
-	begin := time.Now()
 
 	var recs []Match
 	switch engineOf(opts) {
@@ -209,6 +309,7 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 			Translator:      Translator(plan.Translator),
 			Engine:          engineOf(opts),
 			Elapsed:         elapsed,
+			PlanElapsed:     planElapsed,
 			VisitedElements: ctx.Visited(),
 			PageReads:       ctx.PageReads(),
 			PageMisses:      ctx.PageMisses(),
@@ -276,8 +377,12 @@ type Explanation struct {
 }
 
 // Explain translates a query and renders its plan, SQL and algebra
-// without executing it.
+// without executing it. It returns ErrClosed once Close has been called.
 func (s *Store) Explain(query string, opts QueryOptions) (*Explanation, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	plan, err := s.plan(query, opts)
 	if err != nil {
 		return nil, err
@@ -312,8 +417,16 @@ func (s *Store) Stats() StoreStats {
 }
 
 // DropCaches empties the buffer pools, simulating a cold cache (the
-// paper's measurement condition).
-func (s *Store) DropCaches() error { return s.inner.DropCaches() }
+// paper's measurement condition). It may run concurrently with queries
+// (see the Concurrency section) and returns ErrClosed once Close has
+// been called.
+func (s *Store) DropCaches() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	return s.inner.DropCaches()
+}
 
 // DatasetOptions configures GenerateDataset.
 type DatasetOptions struct {

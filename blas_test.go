@@ -174,6 +174,29 @@ func TestExecStatsPopulated(t *testing.T) {
 	if res.Stats.PageMisses == 0 {
 		t.Fatal("cold cache should miss")
 	}
+	// Elapsed is the full Query latency (from entry, including parse and
+	// translate); PlanElapsed is the planning share of it.
+	if res.Stats.PlanElapsed <= 0 {
+		t.Fatalf("PlanElapsed = %v, want > 0 (clock must start at Query entry)", res.Stats.PlanElapsed)
+	}
+	if res.Stats.Elapsed < res.Stats.PlanElapsed {
+		t.Fatalf("Elapsed %v < PlanElapsed %v", res.Stats.Elapsed, res.Stats.PlanElapsed)
+	}
+}
+
+func TestNegativeParallelismRejected(t *testing.T) {
+	st := buildCatalog(t)
+	for _, p := range []int{-1, -7} {
+		if _, err := st.Query("//title", QueryOptions{Parallelism: p}); err == nil {
+			t.Fatalf("Parallelism = %d accepted, want error", p)
+		}
+	}
+	// The documented settings still work.
+	for _, p := range []int{0, 1, 2} {
+		if _, err := st.Query("//title", QueryOptions{Parallelism: p}); err != nil {
+			t.Fatalf("Parallelism = %d: %v", p, err)
+		}
+	}
 }
 
 func TestNestedLoopOption(t *testing.T) {

@@ -29,6 +29,10 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "relational engine worker pool: 0 = GOMAXPROCS, 1 = sequential (the paper's setting)")
 	flag.Parse()
 
+	if *parallelism < 0 {
+		fmt.Fprintf(os.Stderr, "blasbench: -parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *parallelism)
+		os.Exit(2)
+	}
 	factors, err := parseFactors(*factorsStr)
 	if err != nil {
 		fail(err)

@@ -32,6 +32,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: blasquery (-store DIR | -xml FILE) -q QUERY")
 		os.Exit(2)
 	}
+	if *parallelism < 0 {
+		fmt.Fprintf(os.Stderr, "blasquery: -parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *parallelism)
+		os.Exit(2)
+	}
 
 	var st *blas.Store
 	var err error

@@ -7,11 +7,15 @@
 package blas
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/pager"
 )
 
 // concurrencyDoc builds a document large enough that scans overlap in
@@ -190,5 +194,270 @@ func TestConcurrentStatsDoNotBleed(t *testing.T) {
 			t.Fatalf("iteration %d: visited %d != solo measurement %d (cross-query bleed)",
 				i, res.Stats.VisitedElements, alone.Stats.VisitedElements)
 		}
+	}
+}
+
+// --- buffer pool invariants (PR 4's sharded, pinning pool) ---
+//
+// The pool tests below target the pager directly through its public API
+// and are meant to run under -race (the CI runs
+// `go test -race -run Concurrency -count=2`): they pin frames from many
+// goroutines while eviction, overflow and DropCache churn the shards.
+
+// poolFixture allocates n pages whose first byte encodes their id.
+func poolFixture(t *testing.T, cfg pager.Config, n int) (*pager.File, []pager.PageID) {
+	t.Helper()
+	f := pager.OpenMemConfig(cfg)
+	ids := make([]pager.PageID, n)
+	for i := range ids {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Update(id, func(p []byte) error { p[0] = byte(i + 1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return f, ids
+}
+
+// TestConcurrencyPoolEvictionUnderPin holds pins on a fixed page while
+// other goroutines sweep a working set far larger than the pool,
+// evicting on almost every access. The pinned frame must never be
+// reused: its bytes stay valid for the whole callback.
+func TestConcurrencyPoolEvictionUnderPin(t *testing.T) {
+	const pages = 64
+	f, ids := poolFixture(t, pager.Config{PoolPages: 4, Shards: 2}, pages)
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Pinners: long callbacks on one page each.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := ids[g]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := f.View(id, func(p []byte) error {
+					for i := 0; i < 100; i++ {
+						if p[0] != byte(g+1) {
+							return fmt.Errorf("pinned page %d corrupted: byte = %d, want %d", id, p[0], g+1)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Sweepers: force constant eviction across both shards.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i, id := range ids {
+					err := f.View(id, func(p []byte) error {
+						if p[0] != byte(i+1) {
+							return fmt.Errorf("page %d: byte = %d, want %d", id, p[0], i+1)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let the sweepers finish, then release the pinners.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	defer func() { <-done }()
+	defer close(stop)
+
+	// Meanwhile verify the file-wide invariant reads >= misses holds on
+	// the atomically-maintained stats.
+	for i := 0; i < 100; i++ {
+		st := f.Stats()
+		if st.Misses > st.Reads {
+			t.Fatalf("stats snapshot: misses %d > reads %d", st.Misses, st.Reads)
+		}
+	}
+}
+
+// TestConcurrencyPoolAllPinnedOverflow pins more pages at once than the
+// pool holds. Eviction finds no victim, so shards must grow transiently
+// — every pin succeeds, with correct data, rather than erroring or
+// recycling a pinned buffer.
+func TestConcurrencyPoolAllPinnedOverflow(t *testing.T) {
+	const pages = 12
+	f, ids := poolFixture(t, pager.Config{PoolPages: 2, Shards: 1}, pages)
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	hold := make(chan struct{})
+	pinned := make(chan error, pages)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id pager.PageID) {
+			defer wg.Done()
+			err := f.View(id, func(p []byte) error {
+				if p[0] != byte(i+1) {
+					return fmt.Errorf("page %d: byte = %d, want %d", id, p[0], i+1)
+				}
+				pinned <- nil
+				<-hold // keep the frame pinned until all pages are in
+				if p[0] != byte(i+1) {
+					return fmt.Errorf("page %d corrupted while pinned: byte = %d", id, p[0])
+				}
+				return nil
+			})
+			if err != nil {
+				pinned <- err
+			}
+		}(i, id)
+	}
+	// All 12 pages of a 2-frame pool must get pinned simultaneously.
+	for i := 0; i < pages; i++ {
+		if err := <-pinned; err != nil {
+			t.Error(err)
+		}
+	}
+	close(hold)
+	wg.Wait()
+}
+
+// TestConcurrencyPoolDropCacheVsView races DropCache against readers:
+// views must keep seeing consistent page bytes while the pool is drained
+// under them, and the pool must refill correctly afterwards.
+func TestConcurrencyPoolDropCacheVsView(t *testing.T) {
+	const pages = 32
+	f, ids := poolFixture(t, pager.Config{PoolPages: 8}, pages)
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				for i, id := range ids {
+					err := f.View(id, func(p []byte) error {
+						if p[0] != byte(i+1) {
+							return fmt.Errorf("page %d: byte = %d, want %d", id, p[0], i+1)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200 && !failed.Load(); i++ {
+			if err := f.DropCache(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// --- Close vs in-flight queries (PR 4 regression) ---
+
+// TestConcurrencyCloseWaitsForQueries pins the active-query refcount:
+// Close must block until running queries finish (their results stay
+// complete and correct), and queries arriving after Close has begun get
+// ErrClosed instead of crashing on closed files.
+func TestConcurrencyCloseWaitsForQueries(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const query = "/db/entry/protein/name"
+	want, err := st.Query(query, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var closedSeen atomic.Int64
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				res, err := st.Query(query, QueryOptions{})
+				if errors.Is(err, ErrClosed) {
+					closedSeen.Add(1)
+					return
+				}
+				if err != nil {
+					t.Errorf("query racing Close: %v", err)
+					return
+				}
+				// A query that was admitted must complete untruncated even
+				// while Close is waiting.
+				if !reflect.DeepEqual(res.Matches, want.Matches) {
+					t.Errorf("query racing Close returned %d matches, want %d", len(res.Matches), len(want.Matches))
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	// Several goroutines race Close; every call must block until the
+	// store is actually closed and report the same (nil) result.
+	var closers sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := st.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	closers.Wait()
+	wg.Wait()
+	if got := closedSeen.Load(); got != goroutines {
+		t.Fatalf("%d goroutines saw ErrClosed, want %d", got, goroutines)
+	}
+	// After Close everything fails fast with ErrClosed…
+	if _, err := st.Query(query, QueryOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close: err = %v, want ErrClosed", err)
+	}
+	if err := st.DropCaches(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DropCaches after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := st.Explain(query, QueryOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Explain after Close: err = %v, want ErrClosed", err)
+	}
+	// …and Close itself is idempotent.
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

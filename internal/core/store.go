@@ -38,6 +38,11 @@ type Options struct {
 	// PoolPages is the buffer pool capacity per relation file;
 	// 0 selects the pager default.
 	PoolPages int
+	// PoolShards is the number of lock-striped buffer pool shards per
+	// relation file; 0 selects the pager default
+	// (nextPow2(GOMAXPROCS)). More shards let more concurrent scans of
+	// one relation proceed without lock contention.
+	PoolShards int
 }
 
 // Store is an open BLAS store.
@@ -91,14 +96,19 @@ func (s *Store) TagName(id uint32) (string, bool) {
 }
 
 // DropCaches empties both buffer pools (the paper's experiments run on a
-// cold cache, §5.1). Unlike queries, DropCaches is not meant to run
-// concurrently with in-flight scans: it is a benchmark-harness control,
-// not part of the serving path.
+// cold cache, §5.1). It is a benchmark-harness control, not part of the
+// serving path; running it concurrently with in-flight scans is memory-
+// safe (pinned frames keep their buffers until released) but skews the
+// miss counts of those scans.
+// Like pager.File.DropCache, it drains both pools even when one errors
+// and reports the first error.
 func (s *Store) DropCaches() error {
-	if err := s.spFile.DropCache(); err != nil {
-		return err
+	err1 := s.spFile.DropCache()
+	err2 := s.sdFile.DropCache()
+	if err1 != nil {
+		return err1
 	}
-	return s.sdFile.DropCache()
+	return err2
 }
 
 // Close flushes and closes the store files.
@@ -112,19 +122,20 @@ func (s *Store) Close() error {
 }
 
 func openFiles(opts Options, create bool) (sp, sd *pager.File, err error) {
+	cfg := pager.Config{PoolPages: opts.PoolPages, Shards: opts.PoolShards}
 	if opts.Dir == "" {
-		return pager.OpenMem(opts.PoolPages), pager.OpenMem(opts.PoolPages), nil
+		return pager.OpenMemConfig(cfg), pager.OpenMemConfig(cfg), nil
 	}
 	if create {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	sp, err = pager.Open(filepath.Join(opts.Dir, "sp.pg"), opts.PoolPages)
+	sp, err = pager.OpenConfig(filepath.Join(opts.Dir, "sp.pg"), cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	sd, err = pager.Open(filepath.Join(opts.Dir, "sd.pg"), opts.PoolPages)
+	sd, err = pager.OpenConfig(filepath.Join(opts.Dir, "sd.pg"), cfg)
 	if err != nil {
 		sp.Close()
 		return nil, nil, err

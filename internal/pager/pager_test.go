@@ -223,6 +223,106 @@ func TestRandomizedPagesAgainstShadow(t *testing.T) {
 	}
 }
 
+func TestShardCountCappedByPoolSize(t *testing.T) {
+	f := OpenMemConfig(Config{PoolPages: 2, Shards: 64})
+	defer f.Close()
+	if got := f.NumShards(); got > 2 {
+		t.Fatalf("NumShards = %d, want <= PoolPages (2)", got)
+	}
+	f2 := OpenMemConfig(Config{PoolPages: 512, Shards: 3})
+	defer f2.Close()
+	if got := f2.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4 (next power of two >= 3)", got)
+	}
+}
+
+// TestViewSurvivesDropCache exercises the pin contract directly: a view
+// callback that drops the whole cache mid-read must keep seeing its own
+// page's bytes (the frame's buffer is discarded, never reused), and the
+// page must still read back correctly afterwards.
+func TestViewSurvivesDropCache(t *testing.T) {
+	f := OpenMemConfig(Config{PoolPages: 4, Shards: 1})
+	defer f.Close()
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(id, func(p []byte) error { p[0] = 42; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err = f.View(id, func(p []byte) error {
+		if p[0] != 42 {
+			t.Fatalf("before drop: p[0] = %d", p[0])
+		}
+		if err := f.DropCache(); err != nil {
+			return err
+		}
+		if p[0] != 42 {
+			t.Fatalf("after drop: pinned view lost its data (p[0] = %d)", p[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := f.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("reread after drop: byte = %d, want 42", buf[0])
+	}
+	if f.Stats().Misses == 0 {
+		t.Fatal("expected a miss after DropCache")
+	}
+}
+
+// TestEvictionSkipsPinnedFrame pins one page and then drives enough
+// traffic through its (only) shard to evict everything evictable; the
+// pinned page's buffer must stay intact throughout.
+func TestEvictionSkipsPinnedFrame(t *testing.T) {
+	f := OpenMemConfig(Config{PoolPages: 2, Shards: 1})
+	defer f.Close()
+	const pages = 8
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Update(id, func(p []byte) error { p[0] = byte(i + 1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	err := f.View(ids[0], func(p []byte) error {
+		// Touch every other page; with cap 2 and one shard this evicts on
+		// nearly every access, but never the pinned frame.
+		for round := 0; round < 3; round++ {
+			for i := 1; i < pages; i++ {
+				if err := f.View(ids[i], func(q []byte) error {
+					if q[0] != byte(i+1) {
+						t.Fatalf("page %d: byte = %d, want %d", ids[i], q[0], i+1)
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			if p[0] != 1 {
+				t.Fatalf("round %d: pinned page corrupted (byte = %d)", round, p[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Evictions == 0 {
+		t.Fatal("expected evictions under cache pressure")
+	}
+}
+
 func appendByte(path string) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

@@ -248,7 +248,10 @@ func NewReader(f *pager.File, tree Tree) *Reader { return &Reader{f: f, tree: tr
 // Count returns the number of entries in the tree.
 func (r *Reader) Count() uint64 { return r.tree.Count }
 
-// page is a parsed page snapshot (copied out of the pool).
+// page is a parsed page snapshot (copied out of the pool). The copy is
+// what makes iterators immune to eviction: once loadPage returns, the
+// pager frame is unpinned and may be reused, while the iterator keeps
+// reading its private buffer.
 type page struct {
 	typ   byte
 	n     int

@@ -397,7 +397,9 @@ func (r *Relation) Count() uint64 { return r.meta.count }
 func (r *Relation) File() *pager.File { return r.f }
 
 // fetch reads the record at loc, accounting the page request and the
-// decoded record to ctx.
+// decoded record to ctx. decodeRecord copies every field out of the page
+// (strings included), so nothing references the pager's frame once the
+// view callback returns and the frame is unpinned.
 func (r *Relation) fetch(ctx *ExecContext, loc Locator) (Record, error) {
 	var rec Record
 	err := r.f.ViewCounted(loc.Page, ctx.pageCounters(), func(p []byte) error {
