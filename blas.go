@@ -22,15 +22,29 @@
 // A *Store is safe for concurrent use once built or opened: any number
 // of goroutines may call Query, Explain, Stats and the other read
 // methods simultaneously. Each Query gets its own execution context, so
-// the ExecStats in one result never include another query's work. The
-// relational engine additionally parallelizes a single query internally
-// — fragment selections and structural merge joins run under a bounded
-// worker pool sized by QueryOptions.Parallelism (default GOMAXPROCS;
-// 1 forces fully sequential execution). The storage layer scales with
-// that parallelism: each relation file's buffer pool is sharded
-// (Options.PoolShards) and page views pin frames instead of holding a
-// pool-wide lock, so concurrent scans overlap their page decoding and
-// backing-store misses.
+// the ExecStats in one result never include another query's work. Both
+// engines additionally parallelize a single query internally under a
+// bounded worker pool sized by QueryOptions.Parallelism (default
+// GOMAXPROCS; 1 forces fully sequential execution):
+//
+//   - the relational engine fans fragment selections out concurrently
+//     and partitions its structural merge joins by ancestor interval;
+//   - the twig engine reads every label stream through a batched,
+//     prefetching stream layer (async per-stream prefetchers keep
+//     batches in flight so backing-store misses overlap the sweep) and
+//     partitions the holistic sweep itself by document-order intervals
+//     derived from the root stream, cut only on top-level root-element
+//     boundaries so no stack chain straddles a cut.
+//
+// Results are byte-identical at every Parallelism setting, and so is
+// ExecStats.VisitedElements — each stream record is fetched by exactly
+// one partition. PageReads/PageMisses remain self-consistent under
+// parallelism (atomic, per-query) but can vary slightly with the
+// partition count, since every partition descends the indexes for its
+// own sub-range. The storage layer scales with query parallelism: each
+// relation file's buffer pool is sharded (Options.PoolShards) and page
+// views pin frames instead of holding a pool-wide lock, so concurrent
+// scans overlap their page decoding and backing-store misses.
 //
 // Close tracks in-flight queries with a refcount: it blocks until every
 // active Query has returned, and any Query or DropCaches call issued
@@ -224,10 +238,11 @@ type QueryOptions struct {
 	// NestedLoopJoin forces the quadratic D-join (ablation; relational
 	// engine only).
 	NestedLoopJoin bool
-	// Parallelism bounds the worker pool one query may use for fragment
-	// scans and partitioned D-joins (relational engine only). 0 selects
-	// runtime.GOMAXPROCS(0); 1 runs the query fully sequentially. The
-	// result set is identical at every setting.
+	// Parallelism bounds the worker pool one query may use, on either
+	// engine: fragment scans and partitioned D-joins on the relational
+	// engine, stream prefetchers and the partitioned holistic sweep on
+	// the twig engine. 0 selects runtime.GOMAXPROCS(0); 1 runs the query
+	// fully sequentially. The result set is identical at every setting.
 	Parallelism int
 }
 
@@ -283,16 +298,17 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 	planElapsed := time.Since(begin)
 	ctx := relstore.NewExecContext()
 
+	cfg := core.ExecConfig{Parallelism: opts.Parallelism}
 	var recs []Match
 	switch engineOf(opts) {
 	case EngineTwig:
-		res, err := twig.Execute(ctx, s.inner, plan)
+		res, err := twig.Execute(ctx, s.inner, plan, cfg)
 		if err != nil {
 			return nil, err
 		}
 		recs = s.matches(res.Records)
 	default:
-		jo := relengine.Options{Parallelism: opts.Parallelism}
+		jo := relengine.Options{ExecConfig: cfg}
 		if opts.NestedLoopJoin {
 			jo.Join = relengine.NestedLoopJoin
 		}

@@ -7,6 +7,7 @@
 //	blasbench -fig 13            # relational engine comparison
 //	blasbench -fig 16 -factors 1,2,3,4,5
 //	blasbench -all               # everything (as used for EXPERIMENTS.md)
+//	blasbench -fig overlap -engine both   # P=1 vs P=GOMAXPROCS, both engines
 package main
 
 import (
@@ -20,13 +21,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 11, 12, 13, 14, 15, 16, 17 or 18")
+	fig := flag.String("fig", "", "figure to reproduce: 11, 12, 13, 14, 15, 16, 17, 18 or overlap")
 	all := flag.Bool("all", false, "run every figure")
-	factor := flag.Int("factor", 1, "data scale factor for figures 13-15")
+	factor := flag.Int("factor", 1, "data scale factor for figures 13-15 and overlap")
 	factorsStr := flag.String("factors", "1,2,3,4,5", "scale factors for figures 16-18")
 	repeats := flag.Int("repeats", 3, "cold-cache repetitions per measurement")
 	seed := flag.Int64("seed", 1, "data generator seed")
-	parallelism := flag.Int("parallelism", 0, "relational engine worker pool: 0 = GOMAXPROCS, 1 = sequential (the paper's setting)")
+	parallelism := flag.Int("parallelism", 0, "per-query worker pool, both engines: 0 = GOMAXPROCS, 1 = sequential (the paper's setting)")
+	engine := flag.String("engine", "both", "engine(s) for -fig overlap: relational, twig or both")
 	flag.Parse()
 
 	if *parallelism < 0 {
@@ -61,6 +63,9 @@ func main() {
 			return h.Scalability(os.Stdout, "17", "QA2", factors)
 		case "18":
 			return h.Scalability(os.Stdout, "18", "QA3", factors)
+		case "overlap":
+			// Not a paper figure: P=1 vs P=GOMAXPROCS on both engines.
+			return h.Overlap(os.Stdout, *engine, *factor)
 		}
 		return fmt.Errorf("unknown figure %q", name)
 	}

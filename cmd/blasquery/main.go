@@ -25,7 +25,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the plan, SQL and algebra instead of executing")
 	limit := flag.Int("limit", 20, "maximum matches to print (0 = all)")
 	stats := flag.Bool("stats", true, "print execution statistics")
-	parallelism := flag.Int("parallelism", 0, "worker pool per query: 0 = GOMAXPROCS, 1 = sequential")
+	parallelism := flag.Int("parallelism", 0, "worker pool per query, both engines: 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
 	if *query == "" || (*store == "") == (*xmlFile == "") {

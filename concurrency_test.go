@@ -197,6 +197,93 @@ func TestConcurrentStatsDoNotBleed(t *testing.T) {
 	}
 }
 
+// TestConcurrencyTwigParallelSweep stresses the twig engine's
+// partitioned sweep from many goroutines at mixed parallelism, racing a
+// DropCaches churner so prefetchers continually miss and refetch. Every
+// result must be byte-identical to the sequential twig answer, with
+// VisitedElements exactly equal — the partitioned sweep's stats-
+// exactness guarantee (each stream record is fetched by exactly one
+// partition, at every worker count).
+func TestConcurrencyTwigParallelSweep(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	type want struct {
+		matches []Match
+		visited uint64
+	}
+	wants := map[string]want{}
+	for _, q := range concurrencyWorkload {
+		res, err := st.Query(q, QueryOptions{Engine: EngineTwig, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("sequential twig %s: %v", q, err)
+		}
+		if len(res.Matches) == 0 {
+			t.Fatalf("sequential twig %s: empty result would make the stress vacuous", q)
+		}
+		wants[q] = want{matches: res.Matches, visited: res.Stats.VisitedElements}
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	defer churn.Wait()
+	defer close(stop)
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.DropCaches(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const goroutines = 6
+	const iterations = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				q := concurrencyWorkload[(g+i)%len(concurrencyWorkload)]
+				par := []int{0, 2, 5}[i%3]
+				res, err := st.Query(q, QueryOptions{Engine: EngineTwig, Parallelism: par})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d P=%d %s: %v", g, par, q, err)
+					return
+				}
+				w := wants[q]
+				if !reflect.DeepEqual(res.Matches, w.matches) {
+					errs <- fmt.Errorf("goroutine %d P=%d %s: %d matches != sequential %d",
+						g, par, q, len(res.Matches), len(w.matches))
+					return
+				}
+				if res.Stats.VisitedElements != w.visited {
+					errs <- fmt.Errorf("goroutine %d P=%d %s: visited %d != sequential %d (partition overlap or gap)",
+						g, par, q, res.Stats.VisitedElements, w.visited)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 // --- buffer pool invariants (PR 4's sharded, pinning pool) ---
 //
 // The pool tests below target the pager directly through its public API

@@ -70,12 +70,23 @@ func TestPaperQueriesEndToEnd(t *testing.T) {
 				if !enginetest.StartsEqual(rres.Starts(), want) {
 					t.Errorf("%s [%s, relational]: %d results, want %d", query, trName, len(rres.Starts()), len(want))
 				}
-				tres, err := twig.Execute(nil, st, plan)
+				tres, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: 1})
 				if err != nil {
 					t.Fatalf("%s/%s twig: %v", query, trName, err)
 				}
 				if !enginetest.StartsEqual(tres.Starts(), want) {
 					t.Errorf("%s [%s, twig]: %d results, want %d", query, trName, len(tres.Starts()), len(want))
+				}
+				// The partitioned parallel sweep must be byte-identical to
+				// the sequential sweep (and hence to the relational engine
+				// and the reference) on the whole paper corpus.
+				pres, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: 4})
+				if err != nil {
+					t.Fatalf("%s/%s twig P=4: %v", query, trName, err)
+				}
+				if !enginetest.StartsEqual(pres.Starts(), tres.Starts()) {
+					t.Errorf("%s [%s, twig P=4]: %d results, sequential sweep %d",
+						query, trName, len(pres.Starts()), len(tres.Starts()))
 				}
 			}
 		}

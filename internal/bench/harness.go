@@ -25,7 +25,7 @@ type Harness struct {
 	PoolPages int
 	// Seed feeds the data generators.
 	Seed int64
-	// Parallelism is handed to the relational engine (0 = GOMAXPROCS,
+	// Parallelism is handed to both engines (0 = GOMAXPROCS,
 	// 1 = sequential, the paper's original setting).
 	Parallelism int
 
@@ -120,13 +120,13 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		var results int
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(ctx, st, plan)
+			res, err := twig.Execute(ctx, st, plan, core.ExecConfig{Parallelism: h.Parallelism})
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s twig: %w", queryName, translator, err)
 			}
 			results = len(res.Records)
 		default:
-			res, err := relengine.Execute(ctx, st, plan, relengine.Options{Parallelism: h.Parallelism})
+			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: h.Parallelism}})
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s relational: %w", queryName, translator, err)
 			}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relengine"
+	"repro/internal/translate"
+	"repro/internal/twig"
+	"repro/internal/xpath"
+)
+
+// TwigOverlap runs one cold-cache twig execution at the given
+// parallelism and returns the result's start positions, so callers can
+// assert cross-parallelism equality the way BenchmarkScanOverlap checks
+// its checksum. It is the engine-level analogue of ScanOverlap: with
+// P > 1 every stream's prefetcher and the partitioned sweep overlap
+// backing-store misses that a sequential sweep pays serially.
+func TwigOverlap(st *core.Store, plan *translate.Plan, parallelism int) ([]uint32, error) {
+	if err := st.DropCaches(); err != nil {
+		return nil, err
+	}
+	res, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return res.Starts(), nil
+}
+
+// Overlap prints a P=1 versus P=GOMAXPROCS comparison for the selected
+// engine ("relational", "twig" or "both") on the tree queries QA2/QA3 at
+// the given scale factor — the workload behind `blasbench -engine`.
+// Every measurement is cold-cache and repeated h.Repeats times (trimmed
+// mean); the parallel run's result set is verified identical to the
+// sequential one before anything is printed.
+func (h *Harness) Overlap(w io.Writer, engine string, factor int) error {
+	engines, err := overlapEngines(engine)
+	if err != nil {
+		return err
+	}
+	st, err := h.Store("auction", factor)
+	if err != nil {
+		return err
+	}
+	maxP := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "Engine overlap: auction x%d, P=1 vs P=%d (cold cache, trimmed mean of %d)\n",
+		factor, maxP, h.Repeats)
+	fmt.Fprintf(w, "%-8s %-10s %-6s %12s %12s %8s\n", "query", "engine", "tr", "P=1", fmt.Sprintf("P=%d", maxP), "speedup")
+	for _, qn := range []string{"QA2", "QA3"} {
+		plan, err := overlapPlan(st, qn)
+		if err != nil {
+			return err
+		}
+		for _, eng := range engines {
+			seq, seqStarts, err := h.overlapMeasure(st, plan, eng, 1)
+			if err != nil {
+				return err
+			}
+			par, parStarts, err := h.overlapMeasure(st, plan, eng, maxP)
+			if err != nil {
+				return err
+			}
+			if !startsEqual(seqStarts, parStarts) {
+				return fmt.Errorf("bench: %s/%s: parallel result (%d) != sequential (%d)",
+					qn, eng, len(parStarts), len(seqStarts))
+			}
+			speedup := float64(seq) / float64(par)
+			fmt.Fprintf(w, "%-8s %-10s %-6s %12s %12s %7.2fx\n", qn, eng, "pushup", seq, par, speedup)
+		}
+	}
+	return nil
+}
+
+func overlapEngines(engine string) ([]string, error) {
+	switch engine {
+	case "", "both":
+		return []string{"relational", "twig"}, nil
+	case "relational", "twig":
+		return []string{engine}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown engine %q (want relational, twig or both)", engine)
+	}
+}
+
+func overlapPlan(st *core.Store, queryName string) (*translate.Plan, error) {
+	tr, err := translate.ByName("pushup")
+	if err != nil {
+		return nil, err
+	}
+	q := xpath.MustParse(Fig10Queries[queryName])
+	return tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}, StripValues(q))
+}
+
+// overlapMeasure times repeated cold-cache executions of plan on one
+// engine at one parallelism, returning the trimmed mean and the result
+// starts.
+func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, engine string, parallelism int) (time.Duration, []uint32, error) {
+	repeats := h.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var starts []uint32
+	times := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		if err := st.DropCaches(); err != nil {
+			return 0, nil, err
+		}
+		begin := time.Now()
+		switch engine {
+		case "twig":
+			res, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: parallelism})
+			if err != nil {
+				return 0, nil, err
+			}
+			starts = res.Starts()
+		default:
+			res, err := relengine.Execute(nil, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: parallelism}})
+			if err != nil {
+				return 0, nil, err
+			}
+			starts = res.Starts()
+		}
+		times = append(times, time.Since(begin))
+	}
+	return trimmedMean(times), starts, nil
+}
+
+func startsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

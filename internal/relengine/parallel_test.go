@@ -35,12 +35,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s: %v", query, trName, err)
 				}
-				seq, err := Execute(nil, st, plan, Options{Parallelism: 1})
+				seq, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
 				if err != nil {
 					t.Fatalf("%s/%s sequential: %v", query, trName, err)
 				}
 				for _, par := range []int{2, 8} {
-					got, err := Execute(nil, st, plan, Options{Parallelism: par})
+					got, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: par}})
 					if err != nil {
 						t.Fatalf("%s/%s par=%d: %v", query, trName, par, err)
 					}
@@ -88,11 +88,11 @@ func TestPartitionedMergeJoinLargeInput(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, err := Execute(nil, st, plan, Options{Parallelism: 1})
+			seq, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := Execute(nil, st, plan, Options{Parallelism: 4})
+			par, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 4}})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -13,7 +13,10 @@
 // pool, and the structural merge join partitions its ancestor input by
 // interval — descendants fall into exactly one partition's interval
 // span, so partitions merge independently. Options.Parallelism bounds
-// the pool; 1 recovers the fully sequential engine.
+// the pool; 1 recovers the fully sequential engine. Fragment selections
+// read through the batched stream layer (core.FragmentStream over
+// relstore.BatchIter), which decodes each heap page's records under a
+// single pager view.
 //
 // Per-query statistics accumulate in the relstore.ExecContext threaded
 // through every scan, so concurrent Execute calls against one store
@@ -22,7 +25,6 @@ package relengine
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,18 +46,11 @@ const (
 // Options configures execution.
 type Options struct {
 	Join JoinAlgorithm
-	// Parallelism bounds the worker pool used for fragment scans and for
-	// partitioned merge joins. 0 selects runtime.GOMAXPROCS(0); 1 runs
-	// the engine fully sequentially. The result is identical either way.
-	Parallelism int
-}
-
-// workers resolves the effective worker count.
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
+	// ExecConfig.Parallelism bounds the worker pool used for fragment
+	// scans and for partitioned merge joins. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the engine fully sequentially. The
+	// result is identical either way.
+	core.ExecConfig
 }
 
 // Result holds a query's answer.
@@ -78,10 +73,13 @@ func (r *Result) Starts() []uint32 {
 // (nil discards them). Execute is safe to call concurrently with any
 // other reads of the same store, provided each call gets its own ctx.
 func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("relengine: %w", err)
+	}
 	if p.Empty() {
 		return &Result{}, nil
 	}
-	workers := opts.workers()
+	workers := opts.Workers()
 
 	// Evaluate every fragment.
 	bindings, err := scanFragments(ctx, st, p.Fragments, workers)
@@ -195,75 +193,25 @@ func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate
 	return bindings, nil
 }
 
-// scanFragment evaluates one fragment's selection plus local predicates.
+// scanFragment evaluates one fragment's selection plus local predicates
+// through the shared batched stream layer: records arrive batch-wise
+// with one pager view per heap-page run (instead of one per record),
+// and P-label range/set selections are merged into document order
+// batch-wise as well.
 func scanFragment(ctx *relstore.ExecContext, st *core.Store, f *translate.Fragment) ([]relstore.Record, error) {
-	var its []relstore.Iter
-	switch f.Access.Kind {
-	case translate.AccessPLabelEq:
-		its = append(its, st.SP().ScanPLabelExact(ctx, f.Access.Range.Lo))
-	case translate.AccessPLabelRange:
-		// Range scans cover several plabel runs, each start-sorted; merge
-		// them at scan time so the structural joins get sorted input.
-		it, err := st.SP().ScanPLabelRangeByStart(ctx, f.Access.Range.Lo, f.Access.Range.Hi)
-		if err != nil {
-			return nil, err
-		}
-		its = append(its, it)
-	case translate.AccessPLabelSet:
-		runs := make([]relstore.Iter, 0, len(f.Access.Labels))
-		for _, l := range f.Access.Labels {
-			runs = append(runs, st.SP().ScanPLabelExact(ctx, l))
-		}
-		it, err := relstore.MergeByStart(runs)
-		if err != nil {
-			return nil, err
-		}
-		its = append(its, it)
-	case translate.AccessTag:
-		its = append(its, st.SD().ScanTag(ctx, f.Access.TagID))
-	case translate.AccessAll:
-		its = append(its, st.SD().ScanStartRange(ctx, 0, 0))
-	default:
-		return nil, fmt.Errorf("relengine: unknown access kind %v", f.Access.Kind)
+	fs, err := st.PrepareFragmentStream(ctx, f)
+	if err != nil {
+		return nil, err
 	}
-	attrs := attrTagIDs(st, f)
-	var out []relstore.Record
-	for _, it := range its {
-		for it.Next() {
-			rec := it.Record()
-			if f.Value != nil && rec.Data != *f.Value {
-				continue
-			}
-			if f.LevelEq != 0 && rec.Level != f.LevelEq {
-				continue
-			}
-			if attrs != nil && attrs[rec.TagID] {
-				continue
-			}
-			out = append(out, rec)
-		}
-		if err := it.Err(); err != nil {
-			return nil, err
-		}
+	bi, err := fs.Open(ctx, 0, 0)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
-}
-
-// attrTagIDs returns the attribute tag ids to exclude for wildcard scans
-// (XPath * matches elements only), or nil when no filtering is needed.
-func attrTagIDs(st *core.Store, f *translate.Fragment) map[uint32]bool {
-	if f.Access.Kind != translate.AccessAll {
-		return nil
+	recs, err := relstore.CollectBatches(bi, relstore.DefaultBatchSize)
+	if err != nil {
+		return nil, err
 	}
-	m := map[uint32]bool{}
-	for _, tag := range st.Scheme().Tags() {
-		if len(tag) > 0 && tag[0] == '@' {
-			if id, ok := st.TagID(tag); ok {
-				m[id] = true
-			}
-		}
-	}
-	return m
+	return st.FragmentFilter(f).Apply(recs), nil
 }
 
 // Partition thresholds for the parallel merge join: below these input

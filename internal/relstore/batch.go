@@ -1,0 +1,273 @@
+package relstore
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/keyenc"
+	"repro/internal/uint128"
+)
+
+// DefaultBatchSize is the record-batch size the engines use when they
+// have no reason to pick another one. It is large enough that a batch
+// spans several heap pages on typical documents (so per-page work is
+// amortized) and small enough that a handful of in-flight batches per
+// stream stays cheap.
+const DefaultBatchSize = 256
+
+// BatchIter is the batched counterpart of Iter: NextBatch fills dst with
+// up to len(dst) consecutive records of the stream and returns how many
+// it produced. A return of (0, nil) means the stream is exhausted.
+//
+// Unlike Iter, a BatchIter backed by an index scan decodes all records
+// that live on one heap page inside a single pager view, so a batch of
+// records clustered on k pages costs k pool requests instead of one per
+// record. Like Iter, a BatchIter is not safe for concurrent use itself,
+// but any number of them may run concurrently over one Relation.
+type BatchIter interface {
+	NextBatch(dst []Record) (int, error)
+}
+
+// fetchBatch decodes the records addressed by locs into dst (len(dst)
+// must equal len(locs)). Runs of consecutive locators on the same heap
+// page are decoded under one pager view, which is what makes batched
+// scans cheaper than record-at-a-time fetches: the pool is consulted
+// once per page run, not once per record. Every decoded record is
+// accounted to ctx.
+func (r *Relation) fetchBatch(ctx *ExecContext, locs []Locator, dst []Record) error {
+	for i := 0; i < len(locs); {
+		j := i + 1
+		for j < len(locs) && locs[j].Page == locs[i].Page {
+			j++
+		}
+		lo, hi := i, j
+		err := r.f.ViewCounted(locs[lo].Page, ctx.pageCounters(), func(p []byte) error {
+			n := int(binary.LittleEndian.Uint16(p[0:2]))
+			for k := lo; k < hi; k++ {
+				if int(locs[k].Slot) >= n {
+					return fmt.Errorf("relstore: slot %d out of range on page %d (%d records)", locs[k].Slot, locs[k].Page, n)
+				}
+				off := int(binary.LittleEndian.Uint16(p[heapHeader+2*int(locs[k].Slot):]))
+				dst[k] = decodeRecord(p[off:])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		ctx.addVisitedN(uint64(hi - lo))
+		i = j
+	}
+	return nil
+}
+
+// indexBatchIter drains an index iterator in locator batches and decodes
+// them with fetchBatch.
+type indexBatchIter struct {
+	r    *Relation
+	ctx  *ExecContext
+	it   interface{ Next() bool }
+	val  func() []byte
+	ierr func() error
+
+	locs []Locator
+	done bool
+}
+
+func (b *indexBatchIter) NextBatch(dst []Record) (int, error) {
+	if b.done || len(dst) == 0 {
+		return 0, nil
+	}
+	locs := b.locs[:0]
+	for len(locs) < len(dst) && b.it.Next() {
+		locs = append(locs, decodeLocator(b.val()))
+	}
+	b.locs = locs
+	if len(locs) < len(dst) {
+		b.done = true
+		if err := b.ierr(); err != nil {
+			return 0, err
+		}
+	}
+	if len(locs) == 0 {
+		return 0, nil
+	}
+	if err := b.r.fetchBatch(b.ctx, locs, dst[:len(locs)]); err != nil {
+		return 0, err
+	}
+	return len(locs), nil
+}
+
+// clusterStartKey builds a cluster-index bound for records of one
+// cluster-key prefix (plabel or tag) at the given start position.
+func clusterStartKey(prefix []byte, start uint32) []byte {
+	return append(append(make([]byte, 0, len(prefix)+4), prefix...), keyenc.Uint32(start)...)
+}
+
+// clusterBatchRange returns the cluster-index [from, to) bounds for one
+// prefix restricted to starts in [lo, hi) (hi == 0 means unbounded).
+func clusterBatchRange(prefix []byte, lo, hi uint32) (from, to []byte) {
+	from = prefix
+	if lo != 0 {
+		from = clusterStartKey(prefix, lo)
+	}
+	if hi != 0 {
+		to = clusterStartKey(prefix, hi)
+	} else {
+		to = keyenc.PrefixSuccessor(prefix)
+	}
+	return from, to
+}
+
+func (r *Relation) scanClusterBatch(ctx *ExecContext, from, to []byte) BatchIter {
+	it := r.cluster.ScanCounted(from, to, ctx.pageCounters())
+	return &indexBatchIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
+}
+
+// ScanPLabelExactBatch is the batched ScanPLabelExact, additionally
+// restricted to records whose start lies in [lo, hi) (hi == 0 means
+// unbounded). The restriction is pushed into the cluster-key range —
+// records outside it are never fetched or counted — which is what lets a
+// partitioned sweep split one stream across workers without reading any
+// record twice. The relation must be plabel-clustered.
+func (r *Relation) ScanPLabelExactBatch(ctx *ExecContext, p uint128.Uint128, lo, hi uint32) BatchIter {
+	from, to := clusterBatchRange(keyenc.Uint128(p), lo, hi)
+	return r.scanClusterBatch(ctx, from, to)
+}
+
+// ScanTagBatch is the batched ScanTag with the same [lo, hi) start
+// restriction as ScanPLabelExactBatch. The relation must be
+// tag-clustered.
+func (r *Relation) ScanTagBatch(ctx *ExecContext, tagID uint32, lo, hi uint32) BatchIter {
+	from, to := clusterBatchRange(keyenc.Uint32(tagID), lo, hi)
+	return r.scanClusterBatch(ctx, from, to)
+}
+
+// ScanStartRangeBatch is the batched ScanStartRange: document order via
+// the start index, restricted to starts in [lo, hi) (hi == 0 means
+// unbounded).
+func (r *Relation) ScanStartRangeBatch(ctx *ExecContext, lo, hi uint32) BatchIter {
+	from := keyenc.Uint32(lo)
+	var to []byte
+	if hi != 0 {
+		to = keyenc.Uint32(hi)
+	}
+	it := r.startIdx.ScanCounted(from, to, ctx.pageCounters())
+	return &indexBatchIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
+}
+
+// --- k-way batch merge ---
+
+// mergeBatchRun is one input of a batch merge: a batched source plus the
+// buffered window it has been read into.
+type mergeBatchRun struct {
+	src BatchIter
+	buf []Record
+	n   int // valid records in buf
+	i   int // next record
+}
+
+// refill loads the next batch; reports whether records are available.
+func (r *mergeBatchRun) refill() (bool, error) {
+	n, err := r.src.NextBatch(r.buf)
+	if err != nil {
+		return false, err
+	}
+	if n == 0 {
+		return false, nil
+	}
+	r.n, r.i = n, 0
+	return true, nil
+}
+
+// MergeBatchesByStart combines start-ordered batched streams into one
+// start-ordered batched stream (k-way heap merge). Start positions are
+// unique document positions, so the merge order is total. It is the
+// batched counterpart of MergeByStart, used for P-label set and range
+// fragments whose selections span several cluster runs.
+func MergeBatchesByStart(runs []BatchIter, batchSize int) (BatchIter, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	m := &batchMergeIter{}
+	for _, src := range runs {
+		run := &mergeBatchRun{src: src, buf: make([]Record, batchSize)}
+		ok, err := run.refill()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.runs = append(m.runs, run)
+		}
+	}
+	heap.Init(m)
+	return m, nil
+}
+
+// batchMergeIter is a heap of positioned runs; NextBatch pops the global
+// minimum repeatedly.
+type batchMergeIter struct {
+	runs []*mergeBatchRun
+	err  error
+}
+
+func (m *batchMergeIter) Len() int { return len(m.runs) }
+func (m *batchMergeIter) Less(i, j int) bool {
+	return m.runs[i].buf[m.runs[i].i].Start < m.runs[j].buf[m.runs[j].i].Start
+}
+func (m *batchMergeIter) Swap(i, j int) { m.runs[i], m.runs[j] = m.runs[j], m.runs[i] }
+func (m *batchMergeIter) Push(x any)    { m.runs = append(m.runs, x.(*mergeBatchRun)) }
+func (m *batchMergeIter) Pop() any {
+	x := m.runs[len(m.runs)-1]
+	m.runs = m.runs[:len(m.runs)-1]
+	return x
+}
+
+func (m *batchMergeIter) NextBatch(dst []Record) (int, error) {
+	if m.err != nil {
+		return 0, m.err
+	}
+	n := 0
+	for n < len(dst) && len(m.runs) > 0 {
+		top := m.runs[0]
+		dst[n] = top.buf[top.i]
+		n++
+		top.i++
+		if top.i >= top.n {
+			ok, err := top.refill()
+			if err != nil {
+				m.err = err
+				return 0, err
+			}
+			if !ok {
+				heap.Pop(m)
+				continue
+			}
+		}
+		heap.Fix(m, 0)
+	}
+	return n, nil
+}
+
+// CollectBatches drains a batched stream into a slice.
+func CollectBatches(bi BatchIter, batchSize int) ([]Record, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	var out []Record
+	buf := make([]Record, batchSize)
+	for {
+		n, err := bi.NextBatch(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+	}
+}

@@ -61,6 +61,14 @@ func (c *ExecContext) addVisited() {
 	}
 }
 
+// addVisitedN records n decoded records at once (batch fetches),
+// nil-safely.
+func (c *ExecContext) addVisitedN(n uint64) {
+	if c != nil {
+		c.visited.Add(n)
+	}
+}
+
 // pageCounters returns the context's page-counter sink for the pager
 // layer (nil when the context itself is nil).
 func (c *ExecContext) pageCounters() *pager.Counters {

@@ -1,0 +1,73 @@
+package twig
+
+import (
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+var keySink joinKey
+
+// TestJoinKeyZeroAlloc is the allocation guard for the merge's hash-join
+// keys: building a key over a shared prefix of up to joinKeyInline
+// bindings must not allocate (the seed built a string key per lookup,
+// twice per solution). Spilled keys (deeper prefixes) may allocate.
+func TestJoinKeyZeroAlloc(t *testing.T) {
+	recs := make([]relstore.Record, joinKeyInline)
+	nodes := make([]*tnode, joinKeyInline)
+	m := map[int]relstore.Record{}
+	for i := range recs {
+		recs[i].Start = uint32(i * 7)
+		nodes[i] = &tnode{id: i}
+		m[i] = recs[i]
+	}
+	if a := testing.AllocsPerRun(200, func() { keySink = solutionKey(recs) }); a != 0 {
+		t.Errorf("solutionKey allocates %.1f times per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { keySink = assignKey(m, nodes) }); a != 0 {
+		t.Errorf("assignKey allocates %.1f times per call, want 0", a)
+	}
+}
+
+// TestJoinKeyIdentity: solution and assignment keys over the same
+// bindings must collide, different bindings must not — including past
+// the inline capacity, where starts spill into the string tail.
+func TestJoinKeyIdentity(t *testing.T) {
+	for _, n := range []int{1, 3, joinKeyInline, joinKeyInline + 1, joinKeyInline + 5} {
+		recs := make([]relstore.Record, n)
+		nodes := make([]*tnode, n)
+		m := map[int]relstore.Record{}
+		for i := range recs {
+			recs[i].Start = uint32(1000 + i)
+			nodes[i] = &tnode{id: i}
+			m[i] = recs[i]
+		}
+		if solutionKey(recs) != assignKey(m, nodes) {
+			t.Fatalf("n=%d: matching bindings produced different keys", n)
+		}
+		recs[n-1].Start++
+		if solutionKey(recs) == assignKey(m, nodes) {
+			t.Fatalf("n=%d: differing bindings collided", n)
+		}
+	}
+	// Length must be part of the identity: a 2-prefix whose starts are a
+	// prefix of a 3-prefix is a different key.
+	a := []relstore.Record{{Start: 1}, {Start: 2}}
+	b := []relstore.Record{{Start: 1}, {Start: 2}, {Start: 0}}
+	if solutionKey(a) == solutionKey(b) {
+		t.Fatal("keys of different prefix lengths collided")
+	}
+}
+
+// BenchmarkJoinKey tracks the per-solution cost of key construction on
+// the merge's hot path (ReportAllocs is the benchmark-level guard).
+func BenchmarkJoinKey(b *testing.B) {
+	recs := make([]relstore.Record, 4)
+	for i := range recs {
+		recs[i].Start = uint32(i * 13)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keySink = solutionKey(recs)
+	}
+}

@@ -1,0 +1,186 @@
+package twig
+
+import (
+	"repro/internal/core"
+	"repro/internal/relstore"
+)
+
+// prefetchDepth is how many filtered batches a stream's prefetcher keeps
+// in flight ahead of the sweep. Two batches double-buffer: the sweep
+// consumes one while the prefetcher fills the next, overlapping page
+// decode and backing-store misses with sweep work.
+const prefetchDepth = 2
+
+// batchSource produces filtered record batches for one stream. next
+// returns a nil slice at end of stream; a returned batch stays valid
+// until the following next call. close releases any resources (it is
+// required even when next has not been drained — e.g. when a sibling
+// stream errored mid-sweep).
+type batchSource interface {
+	next() ([]relstore.Record, error)
+	close()
+}
+
+// memSource replays an in-memory record slice (the materialized root
+// stream of a partition) as a single batch.
+type memSource struct {
+	recs []relstore.Record
+	done bool
+}
+
+func (m *memSource) next() ([]relstore.Record, error) {
+	if m.done || len(m.recs) == 0 {
+		return nil, nil
+	}
+	m.done = true
+	return m.recs, nil
+}
+
+func (m *memSource) close() {}
+
+// syncSource pulls batches inline on the sweep goroutine — the fully
+// sequential (Parallelism = 1) mode.
+type syncSource struct {
+	bi     relstore.BatchIter
+	filter core.RecFilter
+	buf    []relstore.Record
+}
+
+func newSyncSource(bi relstore.BatchIter, f core.RecFilter) *syncSource {
+	return &syncSource{bi: bi, filter: f, buf: make([]relstore.Record, relstore.DefaultBatchSize)}
+}
+
+func (s *syncSource) next() ([]relstore.Record, error) {
+	for {
+		n, err := s.bi.NextBatch(s.buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		if recs := s.filter.Apply(s.buf[:n]); len(recs) > 0 {
+			return recs, nil
+		}
+	}
+}
+
+func (s *syncSource) close() {}
+
+// prefetchMsg carries one batch (or the stream's terminal error) from a
+// prefetcher to its consumer.
+type prefetchMsg struct {
+	recs []relstore.Record
+	err  error
+}
+
+// prefetchSource reads batches on a dedicated goroutine, keeping up to
+// prefetchDepth filtered batches buffered ahead of the consumer. Each
+// batch gets a fresh buffer, so the consumer may hold one while the
+// producer fills the next.
+type prefetchSource struct {
+	ch     chan prefetchMsg
+	stop   chan struct{}
+	closed bool
+}
+
+func startPrefetch(bi relstore.BatchIter, f core.RecFilter) *prefetchSource {
+	s := &prefetchSource{
+		ch:   make(chan prefetchMsg, prefetchDepth),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.ch)
+		for {
+			buf := make([]relstore.Record, relstore.DefaultBatchSize)
+			n, err := bi.NextBatch(buf)
+			if err != nil {
+				select {
+				case s.ch <- prefetchMsg{err: err}:
+				case <-s.stop:
+				}
+				return
+			}
+			if n == 0 {
+				return
+			}
+			recs := f.Apply(buf[:n])
+			if len(recs) == 0 {
+				continue
+			}
+			select {
+			case s.ch <- prefetchMsg{recs: recs}:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *prefetchSource) next() ([]relstore.Record, error) {
+	msg, ok := <-s.ch
+	if !ok {
+		return nil, nil
+	}
+	if msg.err != nil {
+		return nil, msg.err
+	}
+	return msg.recs, nil
+}
+
+// close stops the producer goroutine. Safe to call after the stream is
+// drained; must only be called from the consuming goroutine.
+func (s *prefetchSource) close() {
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+}
+
+// batchStream is the peekable cursor the sweep drives: head() is the
+// next record in document order, advance() moves past it, refilling
+// from the source batch by batch.
+type batchStream struct {
+	src batchSource
+	cur []relstore.Record
+	i   int
+	eof bool
+	err error
+}
+
+func newBatchStream(src batchSource) *batchStream {
+	s := &batchStream{src: src}
+	s.fill()
+	return s
+}
+
+func (s *batchStream) fill() {
+	for {
+		recs, err := s.src.next()
+		if err != nil {
+			s.err = err
+			s.eof = true
+			return
+		}
+		if recs == nil {
+			s.eof = true
+			return
+		}
+		if len(recs) > 0 {
+			s.cur, s.i = recs, 0
+			return
+		}
+	}
+}
+
+func (s *batchStream) head() relstore.Record { return s.cur[s.i] }
+
+func (s *batchStream) advance() {
+	s.i++
+	if s.i >= len(s.cur) {
+		s.fill()
+	}
+}
+
+func (s *batchStream) close() { s.src.close() }

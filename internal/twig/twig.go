@@ -16,6 +16,40 @@
 // lands on a non-broken chain; after the sweep, path solutions are
 // merge-joined on their shared prefixes into full twig matches.
 //
+// # Batched streams and the partitioned sweep
+//
+// Streams are read through the relstore batched scan layer
+// (relstore.BatchIter via core.FragmentStream): records arrive in
+// fixed-size batches, every heap page contributing to a batch is decoded
+// under a single pager view, and the per-P-label runs of a BLAS-mode
+// range selection are k-way merged batch-wise. With
+// core.ExecConfig.Parallelism > 1 the engine additionally parallelizes
+// one query two ways:
+//
+//   - every twig node's stream gets an asynchronous prefetcher
+//     goroutine that keeps a bounded number of batches in flight, so
+//     per-fragment range scans and the BLAS-mode merge overlap their
+//     backing-store misses instead of stalling the sweep;
+//   - the sweep itself is partitioned by document order: the root
+//     fragment's stream is materialized first, cut points are chosen on
+//     top-level root-element boundaries, and each partition runs the
+//     full stack-chain sweep plus path-solution collection over the
+//     streams restricted to its start interval. Because no element that
+//     can ever be pushed straddles such a cut (every pushed element is
+//     contained in some root-stream element, and no root element spans
+//     a cut), concatenating the per-partition path solutions in
+//     partition order reproduces the sequential sweep's solution lists
+//     exactly; the final merge join is unchanged.
+//
+// Statistics stay exact under parallelism: a record is fetched by
+// exactly one partition (the start restriction is pushed into the
+// cluster-index bounds), so ExecContext.Visited is identical at every
+// Parallelism setting — the paper's "elements read" metric does not
+// depend on the worker count. Page reads/misses remain self-consistent
+// (atomic counters shared by all workers) but may vary slightly with
+// the partition count, since each partition descends the indexes for
+// its own sub-range.
+//
 // The engine reads every stream element exactly once, which is what the
 // paper's "number of elements read" metric (Figs. 14-18) measures: in
 // D-labeling mode every node carrying a query tag is read, in BLAS mode
@@ -53,7 +87,18 @@ func (r *Result) Starts() []uint32 {
 // Execute runs a plan against a store using the holistic twig join.
 // Statistics accumulate in ctx (nil discards them); one ctx per call
 // makes concurrent Execute calls over one store safe.
-func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*Result, error) {
+//
+// cfg.Parallelism sets the sweep-partition count: 0 selects GOMAXPROCS,
+// 1 runs fully sequentially (no extra goroutines), negative values are
+// rejected. At P > 1 each active partition additionally runs one
+// prefetcher goroutine per non-root stream, so a call uses up to
+// P * (plan fragments) goroutines — prefetchers are I/O-bound and
+// block on a depth-2 channel, so compute concurrency tracks P, not the
+// product. The result is byte-identical at every setting.
+func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, cfg core.ExecConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("twig: %w", err)
+	}
 	if p.Empty() {
 		return &Result{}, nil
 	}
@@ -61,13 +106,17 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*Res
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.sweep(); err != nil {
+	leafSols, err := eng.sweepAll(ctx, cfg.Workers())
+	if err != nil {
 		return nil, err
 	}
-	return eng.merge()
+	return eng.merge(leafSols)
 }
 
-// tnode is one twig node.
+// tnode is one twig node: the static query structure plus the prepared
+// stream opener. Per-sweep mutable state (stacks, stream positions,
+// collected solutions) lives in sweepState, so any number of partition
+// sweeps can share one tnode tree.
 type tnode struct {
 	id       int
 	frag     *translate.Fragment
@@ -75,12 +124,12 @@ type tnode struct {
 	children []*tnode
 	edge     translate.Join // incoming edge (zero value for the root)
 
-	stream *peekIter
-	stack  []stackItem
+	stream *core.FragmentStream
+	filter core.RecFilter
 
 	// leaf bookkeeping
-	path      []*tnode // root..this (leaves only)
-	solutions [][]relstore.Record
+	leafIdx int      // index into engine.leaves; -1 for inner nodes
+	path    []*tnode // root..this (leaves only)
 }
 
 type stackItem struct {
@@ -89,22 +138,29 @@ type stackItem struct {
 }
 
 type engine struct {
-	st     *core.Store
-	plan   *translate.Plan
-	nodes  []*tnode
-	root   *tnode
-	leaves []*tnode
+	st       *core.Store
+	plan     *translate.Plan
+	nodes    []*tnode
+	root     *tnode
+	leaves   []*tnode
+	maxDepth int // longest root-to-leaf path
 }
 
 func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engine, error) {
 	eng := &engine{st: st, plan: p}
 	eng.nodes = make([]*tnode, len(p.Fragments))
 	for i, f := range p.Fragments {
-		it, err := openStream(ctx, st, f)
+		fs, err := st.PrepareFragmentStream(ctx, f)
 		if err != nil {
 			return nil, err
 		}
-		eng.nodes[i] = &tnode{id: i, frag: f, stream: newPeekIter(it)}
+		eng.nodes[i] = &tnode{
+			id:      i,
+			frag:    f,
+			stream:  fs,
+			leafIdx: -1,
+			filter:  st.FragmentFilter(f),
+		}
 	}
 	hasParent := make([]bool, len(p.Fragments))
 	for _, j := range p.Joins {
@@ -124,22 +180,22 @@ func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engin
 			}
 			eng.root = n
 		}
-		if len(n.children) == 0 {
-			eng.leaves = append(eng.leaves, n)
-		}
 	}
 	if eng.root == nil {
 		return nil, fmt.Errorf("twig: plan has no root")
 	}
 	// Precompute root-to-leaf paths and order leaves depth-first so that
 	// the merge joins on shared prefixes.
-	eng.leaves = eng.leaves[:0]
 	var dfs func(n *tnode, path []*tnode)
 	dfs = func(n *tnode, path []*tnode) {
 		path = append(path, n)
 		if len(n.children) == 0 {
 			n.path = append([]*tnode(nil), path...)
+			n.leafIdx = len(eng.leaves)
 			eng.leaves = append(eng.leaves, n)
+			if len(path) > eng.maxDepth {
+				eng.maxDepth = len(path)
+			}
 			return
 		}
 		for _, c := range n.children {
@@ -150,191 +206,10 @@ func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engin
 	return eng, nil
 }
 
-// openStream builds the document-order stream for a fragment, with the
-// fragment's local predicates applied.
-func openStream(ctx *relstore.ExecContext, st *core.Store, f *translate.Fragment) (relstore.Iter, error) {
-	var it relstore.Iter
-	var err error
-	switch f.Access.Kind {
-	case translate.AccessPLabelEq:
-		it = st.SP().ScanPLabelExact(ctx, f.Access.Range.Lo)
-	case translate.AccessPLabelRange:
-		it, err = st.SP().ScanPLabelRangeByStart(ctx, f.Access.Range.Lo, f.Access.Range.Hi)
-	case translate.AccessPLabelSet:
-		runs := make([]relstore.Iter, 0, len(f.Access.Labels))
-		for _, l := range f.Access.Labels {
-			runs = append(runs, st.SP().ScanPLabelExact(ctx, l))
-		}
-		it, err = relstore.MergeByStart(runs)
-	case translate.AccessTag:
-		it = st.SD().ScanTag(ctx, f.Access.TagID)
-	case translate.AccessAll:
-		it = st.SD().ScanStartRange(ctx, 0, 0) // start index: document order
-	default:
-		return nil, fmt.Errorf("twig: unknown access kind %v", f.Access.Kind)
-	}
-	if err != nil {
-		return nil, err
-	}
-	var excludeAttrs map[uint32]bool
-	if f.Access.Kind == translate.AccessAll {
-		excludeAttrs = map[uint32]bool{}
-		for _, tag := range st.Scheme().Tags() {
-			if len(tag) > 0 && tag[0] == '@' {
-				if d, ok := st.Scheme().TagDigit(tag); ok {
-					excludeAttrs[uint32(d)] = true
-				}
-			}
-		}
-	}
-	if f.Value == nil && f.LevelEq == 0 && excludeAttrs == nil {
-		return it, nil
-	}
-	return &filterIter{inner: it, value: f.Value, levelEq: f.LevelEq, excludeTags: excludeAttrs}, nil
-}
-
-// filterIter applies fragment-local predicates to a stream.
-type filterIter struct {
-	inner       relstore.Iter
-	value       *string
-	levelEq     uint16
-	excludeTags map[uint32]bool
-}
-
-func (f *filterIter) Next() bool {
-	for f.inner.Next() {
-		rec := f.inner.Record()
-		if f.value != nil && rec.Data != *f.value {
-			continue
-		}
-		if f.levelEq != 0 && rec.Level != f.levelEq {
-			continue
-		}
-		if f.excludeTags != nil && f.excludeTags[rec.TagID] {
-			continue
-		}
-		return true
-	}
-	return false
-}
-
-func (f *filterIter) Record() relstore.Record { return f.inner.Record() }
-func (f *filterIter) Err() error              { return f.inner.Err() }
-
-// peekIter exposes the head of a stream.
-type peekIter struct {
-	it   relstore.Iter
-	head relstore.Record
-	eof  bool
-	err  error
-}
-
-func newPeekIter(it relstore.Iter) *peekIter {
-	p := &peekIter{it: it}
-	p.advance()
-	return p
-}
-
-func (p *peekIter) advance() {
-	if p.err != nil || p.eof {
-		return
-	}
-	if p.it.Next() {
-		p.head = p.it.Record()
-	} else {
-		p.eof = true
-		p.err = p.it.Err()
-	}
-}
-
-// sweep runs the stack machine over all streams in global start order.
-func (e *engine) sweep() error {
-	for {
-		// Pick the non-exhausted stream with the smallest head start.
-		var q *tnode
-		for _, n := range e.nodes {
-			if n.stream.err != nil {
-				return n.stream.err
-			}
-			if n.stream.eof {
-				continue
-			}
-			if q == nil || n.stream.head.Start < q.stream.head.Start {
-				q = n
-			}
-		}
-		if q == nil {
-			return nil
-		}
-		el := q.stream.head
-
-		// Global clean: pop every stack item whose interval ended before
-		// el. Processing in ascending start order makes this safe — a
-		// popped item can contain no future element.
-		for _, n := range e.nodes {
-			for len(n.stack) > 0 && n.stack[len(n.stack)-1].rec.End < el.Start {
-				n.stack = n.stack[:len(n.stack)-1]
-			}
-		}
-
-		// Push only when the chain above is unbroken: a parent element
-		// arriving later cannot contain el.
-		if q.parent == nil || len(q.parent.stack) > 0 {
-			pi := -1
-			if q.parent != nil {
-				pi = len(q.parent.stack) - 1
-			}
-			q.stack = append(q.stack, stackItem{rec: el, parentIdx: pi})
-			if len(q.children) == 0 {
-				q.collectSolutions()
-				q.stack = q.stack[:len(q.stack)-1]
-			}
-		}
-		q.stream.advance()
-	}
-}
-
-// collectSolutions enumerates the root-to-leaf path solutions ending at
-// the element just pushed onto leaf q, applying each edge's level-gap
-// constraint.
-func (q *tnode) collectSolutions() {
-	depth := len(q.path)
-	cur := make([]relstore.Record, depth)
-	item := q.stack[len(q.stack)-1]
-	cur[depth-1] = item.rec
-
-	var up func(level int, limit int)
-	up = func(level, limit int) {
-		if level < 0 {
-			sol := make([]relstore.Record, depth)
-			copy(sol, cur)
-			q.solutions = append(q.solutions, sol)
-			return
-		}
-		node := q.path[level]
-		childRec := cur[level+1]
-		edge := q.path[level+1].edge
-		for i := 0; i <= limit && i < len(node.stack); i++ {
-			it := node.stack[i]
-			// Items on the stack contain the child element by
-			// construction; the edge's level constraint narrows the pick.
-			if !edge.LevelOK(it.rec.Level, childRec.Level) {
-				continue
-			}
-			cur[level] = it.rec
-			up(level-1, it.parentIdx)
-		}
-	}
-	if depth == 1 {
-		q.solutions = append(q.solutions, []relstore.Record{item.rec})
-		return
-	}
-	up(depth-2, item.parentIdx)
-}
-
-// merge joins the per-leaf path solutions on their shared prefixes and
-// projects the return fragment.
-func (e *engine) merge() (*Result, error) {
+// merge joins the per-leaf path solutions (ordered as the sequential
+// sweep emits them) on their shared prefixes and projects the return
+// fragment.
+func (e *engine) merge(leafSols [][][]relstore.Record) (*Result, error) {
 	ret := e.plan.Return
 
 	// Single leaf: path solutions are the matches.
@@ -344,8 +219,8 @@ func (e *engine) merge() (*Result, error) {
 		if col < 0 {
 			return nil, fmt.Errorf("twig: return fragment %d not on the only path", ret)
 		}
-		recs := make([]relstore.Record, 0, len(leaf.solutions))
-		for _, s := range leaf.solutions {
+		recs := make([]relstore.Record, 0, len(leafSols[0]))
+		for _, s := range leafSols[0] {
 			recs = append(recs, s[col])
 		}
 		return &Result{Records: finalize(recs)}, nil
@@ -359,8 +234,9 @@ func (e *engine) merge() (*Result, error) {
 	covered := map[int]bool{}
 	var assigns []assign
 	for li, leaf := range e.leaves {
+		sols := leafSols[li]
 		if li == 0 {
-			for _, s := range leaf.solutions {
+			for _, s := range sols {
 				a := assign{recs: map[int]relstore.Record{}}
 				for i, n := range leaf.path {
 					a.recs[n.id] = s[i]
@@ -378,9 +254,10 @@ func (e *engine) merge() (*Result, error) {
 			shared++
 		}
 		// Index the leaf's solutions by the bindings of the shared prefix.
-		index := map[string][][]relstore.Record{}
-		for _, s := range leaf.solutions {
-			index[prefixKey(s[:shared])] = append(index[prefixKey(s[:shared])], s)
+		index := map[joinKey][][]relstore.Record{}
+		for _, s := range sols {
+			k := solutionKey(s[:shared])
+			index[k] = append(index[k], s)
 		}
 		var next []assign
 		for _, a := range assigns {
@@ -423,21 +300,66 @@ func pathIndex(path []*tnode, id int) int {
 	return -1
 }
 
-func prefixKey(recs []relstore.Record) string {
-	b := make([]byte, 0, 4*len(recs))
-	for _, r := range recs {
-		b = append(b, byte(r.Start>>24), byte(r.Start>>16), byte(r.Start>>8), byte(r.Start))
+// --- shared-prefix join keys ---
+
+// joinKeyInline is how many prefix bindings a joinKey holds without
+// allocating. Shared prefixes are root-to-branch-point paths, so real
+// queries rarely exceed a handful of bindings.
+const joinKeyInline = 8
+
+// joinKey identifies a shared-prefix binding by the start positions of
+// its records (start positions are unique document positions, so they
+// determine the binding). Up to joinKeyInline starts pack into a
+// comparable value — the merge's hash joins then build and look up keys
+// with zero allocations; deeper prefixes spill the remainder into a
+// string. TestJoinKeyZeroAlloc guards the no-allocation property.
+type joinKey struct {
+	n      uint16
+	inline [joinKeyInline]uint32
+	spill  string
+}
+
+func spillStarts(starts []uint32) string {
+	b := make([]byte, 0, 4*len(starts))
+	for _, s := range starts {
+		b = append(b, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
 	}
 	return string(b)
 }
 
-func assignKey(m map[int]relstore.Record, nodes []*tnode) string {
-	b := make([]byte, 0, 4*len(nodes))
-	for _, n := range nodes {
-		r := m[n.id]
-		b = append(b, byte(r.Start>>24), byte(r.Start>>16), byte(r.Start>>8), byte(r.Start))
+// solutionKey keys the shared prefix of one path solution.
+func solutionKey(recs []relstore.Record) joinKey {
+	k := joinKey{n: uint16(len(recs))}
+	if len(recs) > joinKeyInline {
+		starts := make([]uint32, 0, len(recs)-joinKeyInline)
+		for _, r := range recs[joinKeyInline:] {
+			starts = append(starts, r.Start)
+		}
+		k.spill = spillStarts(starts)
+		recs = recs[:joinKeyInline]
 	}
-	return string(b)
+	for i, r := range recs {
+		k.inline[i] = r.Start
+	}
+	return k
+}
+
+// assignKey keys a partial twig assignment by the bindings of the given
+// path prefix.
+func assignKey(m map[int]relstore.Record, nodes []*tnode) joinKey {
+	k := joinKey{n: uint16(len(nodes))}
+	if len(nodes) > joinKeyInline {
+		starts := make([]uint32, 0, len(nodes)-joinKeyInline)
+		for _, n := range nodes[joinKeyInline:] {
+			starts = append(starts, m[n.id].Start)
+		}
+		k.spill = spillStarts(starts)
+		nodes = nodes[:joinKeyInline]
+	}
+	for i, n := range nodes {
+		k.inline[i] = m[n.id].Start
+	}
+	return k
 }
 
 func finalize(recs []relstore.Record) []relstore.Record {

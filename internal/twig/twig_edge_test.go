@@ -45,7 +45,7 @@ func TestManyLeavesSharedPrefix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
-			res, err := Execute(nil, st, plan)
+			res, err := Execute(nil, st, plan, core.ExecConfig{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
@@ -94,7 +94,7 @@ func TestUnfoldFallbackEndToEnd(t *testing.T) {
 	if !enginetest.StartsEqual(rres.Starts(), want) {
 		t.Fatalf("relational fallback wrong: got %v want %v", rres.Starts(), want)
 	}
-	tres, err := Execute(nil, st, plan)
+	tres, err := Execute(nil, st, plan, core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestPLabelSetStreams(t *testing.T) {
 		t.Fatalf("expected a plabel-set fragment, got %v\n%s", ret.Access.Kind, plan)
 	}
 	want, _ := enginetest.EvalStarts(tree, q)
-	res, err := Execute(nil, st, plan)
+	res, err := Execute(nil, st, plan, core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestDeepRecursionStress(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := Execute(nil, st, plan)
+				res, err := Execute(nil, st, plan, core.ExecConfig{})
 				if err != nil {
 					t.Fatalf("%s/%s: %v", qs, trName, err)
 				}

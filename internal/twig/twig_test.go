@@ -65,7 +65,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 		if err != nil {
 			t.Fatalf("%s: translate %s: %v", name, query, err)
 		}
-		res, err := Execute(nil, st, p)
+		res, err := Execute(nil, st, p, core.ExecConfig{})
 		if err != nil {
 			t.Fatalf("%s: twig execute %s: %v", name, query, err)
 		}
@@ -178,7 +178,7 @@ func TestElementsReadAdvantage(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx := relstore.NewExecContext()
-		if _, err := Execute(ctx, st, p); err != nil {
+		if _, err := Execute(ctx, st, p, core.ExecConfig{}); err != nil {
 			t.Fatal(err)
 		}
 		return ctx.Visited()
@@ -201,7 +201,7 @@ func TestEmptyPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Execute(nil, st, p)
+	res, err := Execute(nil, st, p, core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
