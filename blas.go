@@ -52,6 +52,28 @@
 // concurrently with queries — it is memory-safe, though it inflates the
 // miss counts those queries observe.
 //
+// # Observability
+//
+// The system reports its behaviour at three granularities:
+//
+//   - Per query: every Result carries ExecStats — latency split into
+//     planning and execution (Elapsed = PlanElapsed + ExecElapsed), the
+//     paper's visited-elements and disk-access counters, and, when
+//     QueryOptions.Trace is set, a PhaseBreakdown of wall time across
+//     the pipeline phases (parse, translate, scan, join/sweep,
+//     finalize) plus the parallel twig sweep's partition sizes and
+//     cumulative prefetch-stall time. Tracing is off by default and the
+//     off path costs nothing: no allocations, no clock reads.
+//   - Per store: Store.Metrics returns a StoreMetrics snapshot of
+//     lifetime counters — in-flight and completed queries, error count,
+//     bounded latency histograms overall and per engine, per-translator
+//     counts, cumulative execution statistics, and per-shard buffer
+//     pool traffic for both relation files. StoreMetrics marshals to
+//     JSON and implements expvar.Var, so a store can be published with
+//     expvar.Publish("blas", expvar.Func(func() any { return st.Metrics() })).
+//   - Document shape: Store.Stats describes the shredded document and
+//     snapshots each relation file's buffer pool (PoolStats).
+//
 // # Quick start
 //
 //	store, err := blas.BuildFromFile("catalog.xml", blas.Options{Dir: "catalog.blas"})
@@ -63,6 +85,7 @@
 package blas
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -72,6 +95,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/pager"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/sqlgen"
@@ -104,7 +129,8 @@ var ErrClosed = errors.New("blas: store is closed")
 // concurrent Query and Explain calls (see the package documentation's
 // Concurrency section).
 type Store struct {
-	inner *core.Store
+	inner   *core.Store
+	metrics *obs.Registry // lifetime query metrics, exposed via Metrics
 
 	// Active-query refcount: Close waits for in-flight queries to drain
 	// instead of closing the files out from under them, and operations
@@ -118,7 +144,7 @@ type Store struct {
 }
 
 func newStore(inner *core.Store) *Store {
-	s := &Store{inner: inner}
+	s := &Store{inner: inner, metrics: obs.NewRegistry()}
 	s.idle.L = &s.mu
 	return s
 }
@@ -244,6 +270,10 @@ type QueryOptions struct {
 	// the twig engine. 0 selects runtime.GOMAXPROCS(0); 1 runs the query
 	// fully sequentially. The result set is identical at every setting.
 	Parallelism int
+	// Trace records a per-phase wall-time breakdown of the execution,
+	// returned in ExecStats.Phases. Off by default; the untraced path
+	// performs no extra allocations or clock reads.
+	Trace bool
 }
 
 // Match is one result node.
@@ -262,20 +292,66 @@ type Result struct {
 	Stats   ExecStats
 }
 
-// ExecStats describes one execution.
+// ExecStats describes one execution. It marshals to JSON with
+// nanosecond duration fields (the blasquery -stats json format).
 type ExecStats struct {
-	Translator Translator
-	Engine     Engine
-	// Elapsed is the full query latency, measured from Query entry:
-	// parse + translate + execution.
-	Elapsed time.Duration
+	Translator Translator `json:"translator"`
+	Engine     Engine     `json:"engine"`
+	// Elapsed is the full query latency: always exactly
+	// PlanElapsed + ExecElapsed, each measured once.
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// PlanElapsed is the parse + translate share of Elapsed.
-	PlanElapsed     time.Duration
-	VisitedElements uint64 // records decoded from the relations
-	PageReads       uint64 // buffer pool requests
-	PageMisses      uint64 // buffer pool misses (the paper's disk accesses)
-	Joins           int    // D-joins in the plan
-	Note            string // plan degradation note, if any
+	PlanElapsed time.Duration `json:"plan_elapsed_ns"`
+	// ExecElapsed is the execution share of Elapsed: engine run plus
+	// match finalization.
+	ExecElapsed     time.Duration `json:"exec_elapsed_ns"`
+	VisitedElements uint64        `json:"visited_elements"` // records decoded from the relations
+	PageReads       uint64        `json:"page_reads"`       // buffer pool requests
+	PageMisses      uint64        `json:"page_misses"`      // buffer pool misses (the paper's disk accesses)
+	Joins           int           `json:"joins"`            // D-joins in the plan
+	Note            string        `json:"note,omitempty"`   // plan degradation note, if any
+	// Phases is the per-phase wall-time breakdown; nil unless
+	// QueryOptions.Trace was set.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+}
+
+// PhaseBreakdown splits one traced query's wall time across the
+// pipeline phases, as measured on the coordinating goroutine. Parse and
+// Translate tile PlanElapsed; Scan, Join, Sweep and Finalize tile
+// ExecElapsed (Sweep is twig-only, and on the twig engine Scan covers
+// stream preparation while the actual reading happens inside Sweep).
+// The gap between Elapsed and the sum of those six phases is
+// uninstrumented glue and stays small.
+//
+// PrefetchStall is different: it is the cumulative time sweep
+// goroutines spent blocked waiting on stream prefetchers, summed across
+// partitions. It overlaps Sweep rather than adding to it and can exceed
+// wall-clock time at high parallelism.
+type PhaseBreakdown struct {
+	Parse         time.Duration `json:"parse_ns"`
+	Translate     time.Duration `json:"translate_ns"`
+	Scan          time.Duration `json:"scan_ns"`
+	Join          time.Duration `json:"join_ns"`
+	Sweep         time.Duration `json:"sweep_ns"`
+	Finalize      time.Duration `json:"finalize_ns"`
+	PrefetchStall time.Duration `json:"prefetch_stall_ns"`
+	// Partitions holds the parallel twig sweep's per-partition root
+	// record counts, in document order; empty for sequential sweeps and
+	// for the relational engine.
+	Partitions []uint64 `json:"partitions,omitempty"`
+}
+
+func phaseBreakdown(s obs.TraceSnapshot) *PhaseBreakdown {
+	return &PhaseBreakdown{
+		Parse:         s.Span(obs.PhaseParse),
+		Translate:     s.Span(obs.PhaseTranslate),
+		Scan:          s.Span(obs.PhaseScan),
+		Join:          s.Span(obs.PhaseJoin),
+		Sweep:         s.Span(obs.PhaseSweep),
+		Finalize:      s.Span(obs.PhaseFinalize),
+		PrefetchStall: s.Span(obs.PhasePrefetchStall),
+		Partitions:    s.Partitions,
+	}
 }
 
 // Query parses, translates and executes an XPath expression. It is safe
@@ -289,24 +365,34 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 		return nil, err
 	}
 	defer s.end()
+	s.metrics.QueryBegin()
 
-	begin := time.Now()
-	plan, err := s.plan(query, opts)
+	var trace *obs.Trace
+	if opts.Trace {
+		trace = obs.NewTrace()
+	}
+
+	planBegin := time.Now()
+	plan, err := s.plan(query, opts, trace)
 	if err != nil {
+		s.metrics.QueryFailed()
 		return nil, err
 	}
-	planElapsed := time.Since(begin)
-	ctx := relstore.NewExecContext()
+	planElapsed := time.Since(planBegin)
 
+	ctx := relstore.NewExecContext()
+	ctx.SetTrace(trace)
 	cfg := core.ExecConfig{Parallelism: opts.Parallelism}
+	execBegin := time.Now()
 	var recs []Match
 	switch engineOf(opts) {
 	case EngineTwig:
 		res, err := twig.Execute(ctx, s.inner, plan, cfg)
 		if err != nil {
+			s.metrics.QueryFailed()
 			return nil, err
 		}
-		recs = s.matches(res.Records)
+		recs = s.finalizeMatches(ctx, res.Records)
 	default:
 		jo := relengine.Options{ExecConfig: cfg}
 		if opts.NestedLoopJoin {
@@ -314,25 +400,31 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 		}
 		res, err := relengine.Execute(ctx, s.inner, plan, jo)
 		if err != nil {
+			s.metrics.QueryFailed()
 			return nil, err
 		}
-		recs = s.matches(res.Records)
+		recs = s.finalizeMatches(ctx, res.Records)
 	}
-	elapsed := time.Since(begin)
-	return &Result{
-		Matches: recs,
-		Stats: ExecStats{
-			Translator:      Translator(plan.Translator),
-			Engine:          engineOf(opts),
-			Elapsed:         elapsed,
-			PlanElapsed:     planElapsed,
-			VisitedElements: ctx.Visited(),
-			PageReads:       ctx.PageReads(),
-			PageMisses:      ctx.PageMisses(),
-			Joins:           plan.NumJoins(),
-			Note:            plan.Note,
-		},
-	}, nil
+	execElapsed := time.Since(execBegin)
+
+	stats := ExecStats{
+		Translator:      Translator(plan.Translator),
+		Engine:          engineOf(opts),
+		Elapsed:         planElapsed + execElapsed,
+		PlanElapsed:     planElapsed,
+		ExecElapsed:     execElapsed,
+		VisitedElements: ctx.Visited(),
+		PageReads:       ctx.PageReads(),
+		PageMisses:      ctx.PageMisses(),
+		Joins:           plan.NumJoins(),
+		Note:            plan.Note,
+	}
+	if trace != nil {
+		stats.Phases = phaseBreakdown(trace.Snapshot())
+	}
+	s.metrics.QueryDone(string(stats.Engine), string(stats.Translator), stats.Elapsed,
+		stats.VisitedElements, stats.PageReads, stats.PageMisses)
+	return &Result{Matches: recs, Stats: stats}, nil
 }
 
 func engineOf(opts QueryOptions) Engine {
@@ -342,8 +434,10 @@ func engineOf(opts QueryOptions) Engine {
 	return opts.Engine
 }
 
-func (s *Store) plan(query string, opts QueryOptions) (*translate.Plan, error) {
+func (s *Store) plan(query string, opts QueryOptions, trace *obs.Trace) (*translate.Plan, error) {
+	parseBegin := trace.Begin()
 	q, err := xpath.Parse(query)
+	trace.End(obs.PhaseParse, parseBegin)
 	if err != nil {
 		return nil, err
 	}
@@ -358,11 +452,23 @@ func (s *Store) plan(query string, opts QueryOptions) (*translate.Plan, error) {
 			name = TranslatorPushUp
 		}
 	}
+	translateBegin := trace.Begin()
+	defer trace.End(obs.PhaseTranslate, translateBegin)
 	tr, err := translate.ByName(string(name))
 	if err != nil {
 		return nil, err
 	}
 	return tr(ctx, q)
+}
+
+// finalizeMatches renders records into Matches under a PhaseFinalize
+// span when the context carries a trace.
+func (s *Store) finalizeMatches(ctx *relstore.ExecContext, recs []relstore.Record) []Match {
+	tr := ctx.Trace()
+	begin := tr.Begin()
+	out := s.matches(recs)
+	tr.End(obs.PhaseFinalize, begin)
+	return out
 }
 
 func (s *Store) matches(recs []relstore.Record) []Match {
@@ -399,7 +505,7 @@ func (s *Store) Explain(query string, opts QueryOptions) (*Explanation, error) {
 		return nil, err
 	}
 	defer s.end()
-	plan, err := s.plan(query, opts)
+	plan, err := s.plan(query, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -416,20 +522,166 @@ func (s *Store) Explain(query string, opts QueryOptions) (*Explanation, error) {
 	}, nil
 }
 
-// StoreStats describes the shredded document.
+// StoreStats describes the shredded document and the current state of
+// its relation files' buffer pools.
 type StoreStats struct {
 	Nodes    uint64 // element + attribute nodes
 	Tags     int    // distinct tags
 	MaxDepth int
+	SP       PoolStats // buffer pool of the SP (P-label) relation file
+	SD       PoolStats // buffer pool of the SD (D-label) relation file
 }
 
-// Stats returns the store's document statistics.
+// PoolStats is a point-in-time snapshot of one relation file's buffer
+// pool, cumulative since open (or the last cache drop's ResetStats).
+type PoolStats struct {
+	Shards    int    `json:"shards"` // lock-striped pool shards
+	Reads     uint64 `json:"reads"`  // page requests
+	Hits      uint64 `json:"hits"`   // requests served from the pool
+	Misses    uint64 `json:"misses"` // requests that fetched from the backing file
+	Evictions uint64 `json:"evictions"`
+}
+
+func poolStats(f *pager.File) PoolStats {
+	st := f.Stats()
+	return PoolStats{
+		Shards:    f.NumShards(),
+		Reads:     st.Reads,
+		Hits:      st.Hits(),
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+	}
+}
+
+// Stats returns the store's document statistics and buffer pool
+// snapshots.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
 		Nodes:    s.inner.NodeCount(),
 		Tags:     s.inner.Scheme().NumTags(),
 		MaxDepth: s.inner.Schema().MaxDepth(),
+		SP:       poolStats(s.inner.SP().File()),
+		SD:       poolStats(s.inner.SD().File()),
 	}
+}
+
+// LatencyBucket is one occupied bucket of a latency histogram:
+// UpperBound is the bucket's inclusive upper bound (0 = unbounded, the
+// overflow bucket) and Count the number of queries that landed in it.
+type LatencyBucket struct {
+	UpperBound time.Duration `json:"upper_bound_ns"`
+	Count      uint64        `json:"count"`
+}
+
+// LatencyHistogram summarizes a bounded exponential latency histogram.
+// Count always equals the sum of the bucket counts, even when the
+// snapshot raced in-flight queries.
+type LatencyHistogram struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"` // bucket upper bounds, not exact quantiles
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	// Buckets lists the occupied buckets only, in ascending bound order.
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+func latencyHistogram(h obs.HistogramSnapshot) LatencyHistogram {
+	l := LatencyHistogram{
+		Count: h.Count,
+		Sum:   time.Duration(h.Sum),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	for i, c := range h.Buckets {
+		if c != 0 {
+			l.Buckets = append(l.Buckets, LatencyBucket{UpperBound: obs.BucketBound(i), Count: c})
+		}
+	}
+	return l
+}
+
+// PoolMetrics is one relation file's buffer pool traffic, including the
+// per-shard split that shows whether page requests spread across the
+// lock stripes.
+type PoolMetrics struct {
+	PoolStats
+	PerShard []PoolShardStats `json:"per_shard"`
+}
+
+// PoolShardStats is one pool shard's share of the traffic.
+type PoolShardStats struct {
+	Reads     uint64 `json:"reads"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func poolMetrics(f *pager.File) PoolMetrics {
+	m := PoolMetrics{PoolStats: poolStats(f)}
+	for _, sh := range f.ShardStats() {
+		m.PerShard = append(m.PerShard, PoolShardStats{Reads: sh.Reads, Misses: sh.Misses, Evictions: sh.Evictions})
+	}
+	return m
+}
+
+// StoreMetrics is a snapshot of a store's lifetime query metrics. A
+// snapshot taken while queries are in flight is internally consistent:
+// Queries always equals Latency.Count (both derive from the same bucket
+// loads), and successive snapshots never observe a counter moving
+// backwards.
+//
+// StoreMetrics marshals to JSON, and String returns that JSON, so the
+// type satisfies expvar.Var; to publish live metrics use
+// expvar.Func(func() any { return store.Metrics() }).
+type StoreMetrics struct {
+	InFlight        int64                       `json:"in_flight"`
+	Queries         uint64                      `json:"queries"`
+	QueryErrors     uint64                      `json:"query_errors"`
+	VisitedElements uint64                      `json:"visited_elements"`
+	PageReads       uint64                      `json:"page_reads"`
+	PageMisses      uint64                      `json:"page_misses"`
+	Latency         LatencyHistogram            `json:"latency"`
+	ByEngine        map[string]LatencyHistogram `json:"queries_by_engine"`
+	ByTranslator    map[string]uint64           `json:"queries_by_translator"`
+	// Pools maps relation name ("sp", "sd") to its buffer pool traffic.
+	Pools map[string]PoolMetrics `json:"pools"`
+}
+
+// String renders the snapshot as JSON (the expvar.Var contract).
+func (m StoreMetrics) String() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Metrics snapshots the store's lifetime query metrics. It is safe to
+// call concurrently with queries and remains callable after Close.
+func (s *Store) Metrics() StoreMetrics {
+	r := s.metrics.Snapshot()
+	m := StoreMetrics{
+		InFlight:        r.InFlight,
+		Queries:         r.Queries,
+		QueryErrors:     r.Errors,
+		VisitedElements: r.Visited,
+		PageReads:       r.PageReads,
+		PageMisses:      r.PageMisses,
+		Latency:         latencyHistogram(r.Latency),
+		ByEngine:        make(map[string]LatencyHistogram, len(r.ByEngine)),
+		ByTranslator:    r.ByTranslator,
+		Pools: map[string]PoolMetrics{
+			"sp": poolMetrics(s.inner.SP().File()),
+			"sd": poolMetrics(s.inner.SD().File()),
+		},
+	}
+	for name, h := range r.ByEngine {
+		m.ByEngine[name] = latencyHistogram(h)
+	}
+	return m
 }
 
 // DropCaches empties the buffer pools, simulating a cold cache (the

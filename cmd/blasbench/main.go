@@ -8,12 +8,20 @@
 //	blasbench -fig 16 -factors 1,2,3,4,5
 //	blasbench -all               # everything (as used for EXPERIMENTS.md)
 //	blasbench -fig overlap -engine both   # P=1 vs P=GOMAXPROCS, both engines
+//
+// With -json DIR every figure additionally writes its measurements as
+// DIR/BENCH_<fig>.json (schema blas-bench-trajectory/v1: figure, git
+// revision, GOMAXPROCS, and per-measurement engine/translator/
+// parallelism/ns_per_op/visited/page_misses). -validate GLOB checks
+// previously written files and exits nonzero on any malformed one —
+// CI's gate before archiving the trajectory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -29,8 +37,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	parallelism := flag.Int("parallelism", 0, "per-query worker pool, both engines: 0 = GOMAXPROCS, 1 = sequential (the paper's setting)")
 	engine := flag.String("engine", "both", "engine(s) for -fig overlap: relational, twig or both")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<fig>.json trajectories into (empty = no JSON)")
+	validate := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
 	flag.Parse()
 
+	if *validate != "" {
+		validateTrajectories(*validate)
+		return
+	}
 	if *parallelism < 0 {
 		fmt.Fprintf(os.Stderr, "blasbench: -parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *parallelism)
 		os.Exit(2)
@@ -46,28 +60,35 @@ func main() {
 	defer h.Close()
 
 	run := func(name string) error {
-		switch name {
-		case "11":
-			return h.Fig11(os.Stdout)
-		case "12":
-			return h.Fig12(os.Stdout)
-		case "13":
-			return h.Fig13(os.Stdout, *factor)
-		case "14":
-			return h.Fig14(os.Stdout, *factor)
-		case "15":
-			return h.Fig15(os.Stdout, *factor)
-		case "16":
-			return h.Scalability(os.Stdout, "16", "QA1", factors)
-		case "17":
-			return h.Scalability(os.Stdout, "17", "QA2", factors)
-		case "18":
-			return h.Scalability(os.Stdout, "18", "QA3", factors)
-		case "overlap":
-			// Not a paper figure: P=1 vs P=GOMAXPROCS on both engines.
-			return h.Overlap(os.Stdout, *engine, *factor)
+		h.ResetMeasurements()
+		err := func() error {
+			switch name {
+			case "11":
+				return h.Fig11(os.Stdout)
+			case "12":
+				return h.Fig12(os.Stdout)
+			case "13":
+				return h.Fig13(os.Stdout, *factor)
+			case "14":
+				return h.Fig14(os.Stdout, *factor)
+			case "15":
+				return h.Fig15(os.Stdout, *factor)
+			case "16":
+				return h.Scalability(os.Stdout, "16", "QA1", factors)
+			case "17":
+				return h.Scalability(os.Stdout, "17", "QA2", factors)
+			case "18":
+				return h.Scalability(os.Stdout, "18", "QA3", factors)
+			case "overlap":
+				// Not a paper figure: P=1 vs P=GOMAXPROCS on both engines.
+				return h.Overlap(os.Stdout, *engine, *factor)
+			}
+			return fmt.Errorf("unknown figure %q", name)
+		}()
+		if err != nil || *jsonDir == "" {
+			return err
 		}
-		return fmt.Errorf("unknown figure %q", name)
+		return writeTrajectory(*jsonDir, name, h.Measurements())
 	}
 
 	if *all {
@@ -105,6 +126,50 @@ func parseFactors(s string) ([]int, error) {
 		return nil, fmt.Errorf("no factors given")
 	}
 	return out, nil
+}
+
+// writeTrajectory persists one figure's measurements as
+// dir/BENCH_<fig>.json. Figures that only print plans (Fig. 11) record
+// no measurements and are skipped.
+func writeTrajectory(dir, figure string, ms []bench.Measurement) error {
+	if len(ms) == 0 {
+		fmt.Fprintf(os.Stderr, "blasbench: fig %s recorded no measurements, skipping JSON\n", figure)
+		return nil
+	}
+	t := bench.NewTrajectory(figure)
+	for _, m := range ms {
+		t.Add(m)
+	}
+	path, err := t.WriteFile(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "blasbench: wrote %s (%d records)\n", path, len(ms))
+	return nil
+}
+
+// validateTrajectories checks every file matching the glob, printing
+// each verdict; any malformed file (or an empty match set) exits 1.
+func validateTrajectories(glob string) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		fail(err)
+	}
+	if len(paths) == 0 {
+		fail(fmt.Errorf("-validate %q matched no files", glob))
+	}
+	ok := true
+	for _, path := range paths {
+		if err := bench.ValidateTrajectoryFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "blasbench: INVALID:", err)
+			ok = false
+			continue
+		}
+		fmt.Printf("blasbench: ok %s\n", path)
+	}
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func fail(err error) {

@@ -6,9 +6,18 @@
 //	blasquery -store auction.blas -q '/site/regions//item' -translator pushup
 //	blasquery -xml doc.xml -q '//title' -engine twig
 //	blasquery -store s.blas -q '//item[shipping]' -explain
+//	blasquery -xml doc.xml -q '//title' -trace -stats json   # machine-readable ExecStats
+//
+// -stats selects how execution statistics print: "text" (one summary
+// line, the default), "json" (the full ExecStats as one JSON object on
+// stdout — including the phase breakdown when -trace is set) or "none".
+// -trace records per-phase wall times (parse, translate, scan,
+// join/sweep, finalize, prefetch stalls, sweep partitions) into the
+// stats.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +33,8 @@ func main() {
 	engine := flag.String("engine", "relational", "relational or twig")
 	explain := flag.Bool("explain", false, "print the plan, SQL and algebra instead of executing")
 	limit := flag.Int("limit", 20, "maximum matches to print (0 = all)")
-	stats := flag.Bool("stats", true, "print execution statistics")
+	stats := flag.String("stats", "text", "execution statistics format: text, json or none")
+	trace := flag.Bool("trace", false, "record a per-phase wall-time breakdown into the stats")
 	parallelism := flag.Int("parallelism", 0, "worker pool per query, both engines: 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
@@ -34,6 +44,12 @@ func main() {
 	}
 	if *parallelism < 0 {
 		fmt.Fprintf(os.Stderr, "blasquery: -parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *parallelism)
+		os.Exit(2)
+	}
+	switch *stats {
+	case "text", "json", "none":
+	default:
+		fmt.Fprintf(os.Stderr, "blasquery: -stats must be text, json or none, got %q\n", *stats)
 		os.Exit(2)
 	}
 
@@ -53,6 +69,7 @@ func main() {
 		Translator:  blas.Translator(*translator),
 		Engine:      blas.Engine(*engine),
 		Parallelism: *parallelism,
+		Trace:       *trace,
 	}
 	if *explain {
 		ex, err := st.Explain(*query, opts)
@@ -92,10 +109,24 @@ func main() {
 	if show < n {
 		fmt.Printf("... and %d more\n", n-show)
 	}
-	if *stats {
+	switch *stats {
+	case "json":
+		out, err := json.MarshalIndent(res.Stats, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s\n", out)
+	case "text":
 		fmt.Printf("\n%d matches in %s (%s/%s): %d elements visited, %d page misses, %d joins\n",
 			n, res.Stats.Elapsed, res.Stats.Translator, res.Stats.Engine,
 			res.Stats.VisitedElements, res.Stats.PageMisses, res.Stats.Joins)
+		if p := res.Stats.Phases; p != nil {
+			fmt.Printf("phases: parse %s, translate %s, scan %s, join %s, sweep %s, finalize %s, prefetch stall %s\n",
+				p.Parse, p.Translate, p.Scan, p.Join, p.Sweep, p.Finalize, p.PrefetchStall)
+			if len(p.Partitions) > 0 {
+				fmt.Printf("sweep partitions (root records): %v\n", p.Partitions)
+			}
+		}
 	}
 }
 

@@ -126,6 +126,9 @@ func TestConcurrentQueriesMatchSequential(t *testing.T) {
 // store-global counters violated under concurrency.
 func checkStatsConsistent(res *Result) error {
 	s := res.Stats
+	if s.Elapsed != s.PlanElapsed+s.ExecElapsed {
+		return fmt.Errorf("elapsed %v != plan %v + exec %v", s.Elapsed, s.PlanElapsed, s.ExecElapsed)
+	}
 	if len(res.Matches) > 0 && s.VisitedElements == 0 {
 		return fmt.Errorf("non-empty result with zero visited elements")
 	}
@@ -546,5 +549,118 @@ func TestConcurrencyCloseWaitsForQueries(t *testing.T) {
 	// …and Close itself is idempotent.
 	if err := st.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// --- store metrics registry (PR 6) ---
+
+// TestConcurrencyMetricsRegistry hammers one store from many goroutines
+// (successful queries, failing queries, mixed engines) while a reader
+// snapshots Metrics throughout. Every snapshot must be internally
+// consistent even mid-update — Queries equals the latency histogram's
+// bucket sum, counters never move backwards, InFlight stays in range —
+// and once the store is quiescent the totals must be exact.
+func TestConcurrencyMetricsRegistry(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const goroutines = 8
+	const iterations = 25
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	var snapErr error
+	go func() {
+		defer snapWG.Done()
+		var prev StoreMetrics
+		for {
+			m := st.Metrics()
+			var bucketSum uint64
+			for _, b := range m.Latency.Buckets {
+				bucketSum += b.Count
+			}
+			switch {
+			case m.Queries != m.Latency.Count || m.Queries != bucketSum:
+				snapErr = fmt.Errorf("queries %d != latency count %d / bucket sum %d", m.Queries, m.Latency.Count, bucketSum)
+			case m.Queries < prev.Queries, m.QueryErrors < prev.QueryErrors,
+				m.VisitedElements < prev.VisitedElements, m.PageReads < prev.PageReads:
+				snapErr = fmt.Errorf("counter went backwards: %+v after %+v", m, prev)
+			case m.InFlight < 0 || m.InFlight > goroutines:
+				snapErr = fmt.Errorf("in-flight %d out of [0, %d]", m.InFlight, goroutines)
+			}
+			if snapErr != nil {
+				return
+			}
+			prev = m
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	engines := []Engine{EngineRelational, EngineTwig}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if i%5 == 4 {
+					// A parse error must count as a query error, not a query.
+					if _, err := st.Query("][not xpath", QueryOptions{}); err == nil {
+						t.Error("malformed query unexpectedly succeeded")
+					}
+					continue
+				}
+				q := concurrencyWorkload[(g+i)%len(concurrencyWorkload)]
+				if _, err := st.Query(q, QueryOptions{Engine: engines[i%2]}); err != nil {
+					t.Errorf("query %s: %v", q, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	m := st.Metrics()
+	wantOK := uint64(goroutines * iterations * 4 / 5)
+	wantErr := uint64(goroutines * iterations / 5)
+	if m.Queries != wantOK || m.Latency.Count != wantOK {
+		t.Errorf("queries = %d (latency count %d), want %d", m.Queries, m.Latency.Count, wantOK)
+	}
+	if m.QueryErrors != wantErr {
+		t.Errorf("query errors = %d, want %d", m.QueryErrors, wantErr)
+	}
+	if m.InFlight != 0 {
+		t.Errorf("in-flight = %d after quiesce, want 0", m.InFlight)
+	}
+	var perEngine uint64
+	for name, h := range m.ByEngine {
+		if h.Count == 0 {
+			t.Errorf("engine %q recorded zero queries", name)
+		}
+		perEngine += h.Count
+	}
+	if perEngine != m.Queries {
+		t.Errorf("per-engine sum %d != queries %d", perEngine, m.Queries)
+	}
+	var perTranslator uint64
+	for _, c := range m.ByTranslator {
+		perTranslator += c
+	}
+	if perTranslator != m.Queries {
+		t.Errorf("per-translator sum %d != queries %d", perTranslator, m.Queries)
+	}
+	if m.VisitedElements == 0 || m.PageReads == 0 {
+		t.Errorf("cumulative stats empty: visited %d, page reads %d", m.VisitedElements, m.PageReads)
 	}
 }

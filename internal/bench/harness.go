@@ -29,7 +29,8 @@ type Harness struct {
 	// 1 = sequential, the paper's original setting).
 	Parallelism int
 
-	stores map[string]*core.Store
+	stores       map[string]*core.Store
+	measurements []Measurement
 }
 
 // New returns a harness with the paper's measurement defaults.
@@ -66,17 +67,31 @@ func (h *Harness) Store(dataset string, factor int) (*core.Store, error) {
 
 // Measurement is one (query, translator, engine) data point.
 type Measurement struct {
-	Query      string
-	Dataset    string
-	Factor     int
-	Translator string
-	Engine     string // "relational" or "twig"
-	Elapsed    time.Duration
-	Visited    uint64 // elements read (Figs. 14-18 (b) panels)
-	PageMisses uint64 // disk accesses
-	Results    int
-	Joins      int
+	Query       string
+	Dataset     string
+	Factor      int
+	Translator  string
+	Engine      string // "relational" or "twig"
+	Parallelism int    // effective worker count (GOMAXPROCS resolved)
+	Elapsed     time.Duration
+	Visited     uint64 // elements read (Figs. 14-18 (b) panels)
+	PageMisses  uint64 // disk accesses
+	Results     int
+	Joins       int
 }
+
+// Record appends a measurement to the harness's trajectory log. Run and
+// Overlap call it for every data point they produce, so a figure's
+// measurements can be exported (see Trajectory) after its table prints.
+func (h *Harness) Record(m Measurement) { h.measurements = append(h.measurements, m) }
+
+// Measurements returns every measurement recorded since the last reset,
+// in execution order.
+func (h *Harness) Measurements() []Measurement { return h.measurements }
+
+// ResetMeasurements clears the trajectory log, typically between
+// figures.
+func (h *Harness) ResetMeasurements() { h.measurements = nil }
 
 // Run executes one measurement: repeated cold-cache executions, averaged
 // with min and max discarded (when Repeats >= 3), exactly as §5.1
@@ -107,9 +122,11 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		repeats = 1
 	}
 	times := make([]time.Duration, 0, repeats)
+	cfg := core.ExecConfig{Parallelism: h.Parallelism}
 	m := Measurement{
 		Query: queryName, Dataset: dataset, Factor: factor,
 		Translator: translator, Engine: engine, Joins: plan.NumJoins(),
+		Parallelism: cfg.Workers(),
 	}
 	for i := 0; i < repeats; i++ {
 		if err := st.DropCaches(); err != nil {
@@ -120,13 +137,13 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		var results int
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(ctx, st, plan, core.ExecConfig{Parallelism: h.Parallelism})
+			res, err := twig.Execute(ctx, st, plan, cfg)
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s twig: %w", queryName, translator, err)
 			}
 			results = len(res.Records)
 		default:
-			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: h.Parallelism}})
+			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: cfg})
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s relational: %w", queryName, translator, err)
 			}
@@ -138,6 +155,7 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		m.Results = results
 	}
 	m.Elapsed = trimmedMean(times)
+	h.Record(m)
 	return m, nil
 }
 

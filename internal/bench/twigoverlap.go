@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relengine"
+	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/twig"
 	"repro/internal/xpath"
@@ -55,11 +56,11 @@ func (h *Harness) Overlap(w io.Writer, engine string, factor int) error {
 			return err
 		}
 		for _, eng := range engines {
-			seq, seqStarts, err := h.overlapMeasure(st, plan, eng, 1)
+			seq, seqStarts, err := h.overlapMeasure(st, plan, qn, eng, factor, 1)
 			if err != nil {
 				return err
 			}
-			par, parStarts, err := h.overlapMeasure(st, plan, eng, maxP)
+			par, parStarts, err := h.overlapMeasure(st, plan, qn, eng, factor, maxP)
 			if err != nil {
 				return err
 			}
@@ -67,8 +68,10 @@ func (h *Harness) Overlap(w io.Writer, engine string, factor int) error {
 				return fmt.Errorf("bench: %s/%s: parallel result (%d) != sequential (%d)",
 					qn, eng, len(parStarts), len(seqStarts))
 			}
-			speedup := float64(seq) / float64(par)
-			fmt.Fprintf(w, "%-8s %-10s %-6s %12s %12s %7.2fx\n", qn, eng, "pushup", seq, par, speedup)
+			h.Record(seq)
+			h.Record(par)
+			speedup := float64(seq.Elapsed) / float64(par.Elapsed)
+			fmt.Fprintf(w, "%-8s %-10s %-6s %12s %12s %7.2fx\n", qn, eng, "pushup", seq.Elapsed, par.Elapsed, speedup)
 		}
 	}
 	return nil
@@ -95,37 +98,48 @@ func overlapPlan(st *core.Store, queryName string) (*translate.Plan, error) {
 }
 
 // overlapMeasure times repeated cold-cache executions of plan on one
-// engine at one parallelism, returning the trimmed mean and the result
-// starts.
-func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, engine string, parallelism int) (time.Duration, []uint32, error) {
+// engine at one parallelism, returning the full measurement (trimmed
+// mean latency plus the last repetition's execution statistics) and the
+// result starts.
+func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, queryName, engine string, factor, parallelism int) (Measurement, []uint32, error) {
 	repeats := h.Repeats
 	if repeats < 1 {
 		repeats = 1
+	}
+	m := Measurement{
+		Query: queryName, Dataset: "auction", Factor: factor,
+		Translator: "pushup", Engine: engine, Joins: plan.NumJoins(),
+		Parallelism: parallelism,
 	}
 	var starts []uint32
 	times := make([]time.Duration, 0, repeats)
 	for i := 0; i < repeats; i++ {
 		if err := st.DropCaches(); err != nil {
-			return 0, nil, err
+			return Measurement{}, nil, err
 		}
+		ctx := relstore.NewExecContext()
 		begin := time.Now()
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: parallelism})
+			res, err := twig.Execute(ctx, st, plan, core.ExecConfig{Parallelism: parallelism})
 			if err != nil {
-				return 0, nil, err
+				return Measurement{}, nil, err
 			}
 			starts = res.Starts()
 		default:
-			res, err := relengine.Execute(nil, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: parallelism}})
+			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: parallelism}})
 			if err != nil {
-				return 0, nil, err
+				return Measurement{}, nil, err
 			}
 			starts = res.Starts()
 		}
 		times = append(times, time.Since(begin))
+		m.Visited = ctx.Visited()
+		m.PageMisses = ctx.PageMisses()
+		m.Results = len(starts)
 	}
-	return trimmedMean(times), starts, nil
+	m.Elapsed = trimmedMean(times)
+	return m, starts, nil
 }
 
 func startsEqual(a, b []uint32) bool {

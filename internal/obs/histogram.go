@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of latency buckets in a Histogram. Buckets
+// are exponential: bucket i counts observations in
+// (2^(i-1)µs, 2^i µs], with bucket 0 covering everything up to 1µs and
+// the last bucket open-ended (~34s and beyond). 26 buckets keep a
+// histogram at a fixed 240 bytes regardless of traffic — the "bounded"
+// in bounded latency histogram.
+const NumBuckets = 26
+
+// bucketFloor is the upper bound of bucket 0.
+const bucketFloor = time.Microsecond
+
+// Histogram is a bounded, lock-free latency histogram. The zero value
+// is ready to use. Observations and snapshots may race freely: a
+// snapshot's Count is derived from the same bucket loads it reports, so
+// Count always equals the sum of the bucket counts, even mid-update.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds; may lag buckets transiently
+}
+
+// bucketOf returns the bucket index for duration d.
+func bucketOf(d time.Duration) int {
+	i := 0
+	for bound := bucketFloor; d > bound && i < NumBuckets-1; bound <<= 1 {
+		i++
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i; the last
+// bucket reports a zero bound, meaning unbounded.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return 0
+	}
+	return bucketFloor << i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is an immutable copy of a histogram.
+type HistogramSnapshot struct {
+	// Count is the total number of observations; always equal to the
+	// sum of Buckets.
+	Count uint64 `json:"count"`
+	// Sum is the total observed latency in nanoseconds. It is updated
+	// after the bucket on the hot path, so it may lag Count by in-flight
+	// observations.
+	Sum int64 `json:"sum_ns"`
+	// Buckets[i] counts observations in (BucketBound(i-1), BucketBound(i)].
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Mean returns the average observed latency (0 with no observations).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) from
+// the bucket boundaries: the bound of the first bucket at which the
+// cumulative count reaches q*Count. The last bucket reports its
+// (unbounded) zero bound as-is.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return 0
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}

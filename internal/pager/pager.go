@@ -17,8 +17,11 @@
 // nextPow2(GOMAXPROCS), capped at the pool capacity), each with its own
 // mutex, frame map and LRU list. Page id i lives in shard i&(N-1), so a
 // sequential scan round-robins across shards and two goroutines scanning
-// different pages contend only when their pages share a shard. File-wide
-// Stats are atomics, so hot-path accounting never takes a lock.
+// different pages contend only when their pages share a shard. All stats
+// counters are atomics, so hot-path accounting never takes a lock;
+// reads, misses and evictions are kept per shard (ShardStats) and
+// aggregated by Stats, giving metrics exporters a view of how page
+// traffic spreads across the stripes.
 //
 // # Pinning
 //
@@ -75,36 +78,29 @@ type Stats struct {
 // Hits returns the number of requests served from the pool.
 func (s Stats) Hits() uint64 { return s.Reads - s.Misses }
 
-// fileStats is the live, atomically-updated form of Stats: the hot path
-// (pageIn) increments these without holding any lock.
+// ShardStats counts one pool shard's traffic. Reads, misses and
+// evictions are maintained per shard (File.Stats aggregates them), so a
+// metrics exporter can see whether page traffic actually spreads across
+// the lock stripes or piles onto a hot shard.
+type ShardStats struct {
+	Reads     uint64 // page requests routed to this shard
+	Misses    uint64 // requests that fetched from the backing file
+	Evictions uint64 // frames evicted from this shard
+}
+
+// fileStats is the live, atomically-updated form of the file-wide Stats
+// counters: the hot path increments these without holding any lock.
+// Reads, misses and evictions live on the shards instead.
 type fileStats struct {
-	reads      atomic.Uint64
-	misses     atomic.Uint64
 	writes     atomic.Uint64
 	allocs     atomic.Uint64
-	evictions  atomic.Uint64
 	bytesRead  atomic.Uint64
 	bytesWrite atomic.Uint64
 }
 
-func (s *fileStats) snapshot() Stats {
-	return Stats{
-		Reads:      s.reads.Load(),
-		Misses:     s.misses.Load(),
-		Writes:     s.writes.Load(),
-		Allocs:     s.allocs.Load(),
-		Evictions:  s.evictions.Load(),
-		BytesRead:  s.bytesRead.Load(),
-		BytesWrite: s.bytesWrite.Load(),
-	}
-}
-
 func (s *fileStats) reset() {
-	s.reads.Store(0)
-	s.misses.Store(0)
 	s.writes.Store(0)
 	s.allocs.Store(0)
-	s.evictions.Store(0)
 	s.bytesRead.Store(0)
 	s.bytesWrite.Store(0)
 }
@@ -205,13 +201,26 @@ type File struct {
 
 // shard is one lock stripe of the pool: a frame map plus an LRU list,
 // guarded by its own mutex. Frames are looked up, pinned and unpinned
-// under mu; callbacks run outside it.
+// under mu; callbacks run outside it. The traffic counters are atomics
+// so ShardStats snapshots never take the shard locks.
 type shard struct {
 	mu      sync.Mutex
 	pool    map[PageID]*frame
 	lruHead *frame // most recently used
 	lruTail *frame // least recently used
 	cap     int
+
+	reads     atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func (sh *shard) statsSnapshot() ShardStats {
+	return ShardStats{
+		Reads:     sh.reads.Load(),
+		Misses:    sh.misses.Load(),
+		Evictions: sh.evictions.Load(),
+	}
 }
 
 type frame struct {
@@ -313,12 +322,49 @@ func (f *File) NumShards() int { return len(f.shards) }
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() uint32 { return f.npages.Load() }
 
-// Stats returns a snapshot of the access statistics.
-func (f *File) Stats() Stats { return f.stats.snapshot() }
+// Stats returns a snapshot of the access statistics: the file-level
+// counters plus the per-shard reads/misses/evictions summed across
+// shards.
+func (f *File) Stats() Stats {
+	s := Stats{
+		Writes:     f.stats.writes.Load(),
+		Allocs:     f.stats.allocs.Load(),
+		BytesRead:  f.stats.bytesRead.Load(),
+		BytesWrite: f.stats.bytesWrite.Load(),
+	}
+	for i := range f.shards {
+		sh := f.shards[i].statsSnapshot()
+		s.Reads += sh.Reads
+		s.Misses += sh.Misses
+		s.Evictions += sh.Evictions
+	}
+	return s
+}
+
+// ShardStats returns a snapshot of each pool shard's traffic, indexed
+// like the shards themselves (page id & mask). The snapshot is taken
+// lock-free shard by shard; under concurrent traffic the per-shard rows
+// may be skewed against each other, but each row is self-consistent and
+// the totals match what Stats aggregates.
+func (f *File) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(f.shards))
+	for i := range f.shards {
+		out[i] = f.shards[i].statsSnapshot()
+	}
+	return out
+}
 
 // ResetStats zeroes the access statistics (the buffer pool contents are
 // kept; use DropCache to empty the pool as well).
-func (f *File) ResetStats() { f.stats.reset() }
+func (f *File) ResetStats() {
+	f.stats.reset()
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.reads.Store(0)
+		sh.misses.Store(0)
+		sh.evictions.Store(0)
+	}
+}
 
 // DropCache flushes and evicts every pooled page, simulating a cold cache.
 // The paper's experiments run on a cold cache (§5.1). A dirty-page write
@@ -436,13 +482,13 @@ func (f *File) pageIn(sh *shard, id PageID, c *Counters) (*frame, error) {
 	if id >= PageID(f.npages.Load()) {
 		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, f.npages.Load())
 	}
-	f.stats.reads.Add(1)
+	sh.reads.Add(1)
 	if fr, ok := sh.pool[id]; ok {
 		sh.lruTouch(fr)
 		c.count(false)
 		return fr, nil
 	}
-	f.stats.misses.Add(1)
+	sh.misses.Add(1)
 	c.count(true)
 	return f.frameFor(sh, id, true)
 }
@@ -478,7 +524,7 @@ func (f *File) frameFor(sh *shard, id PageID, load bool) (*frame, error) {
 		}
 		sh.lruUnlink(victim)
 		delete(sh.pool, victim.id)
-		f.stats.evictions.Add(1)
+		sh.evictions.Add(1)
 		if fr == nil {
 			fr = victim
 			fr.dirty = false

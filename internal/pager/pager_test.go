@@ -332,3 +332,73 @@ func appendByte(path string) error {
 	_, err = f.Write([]byte{0xAB})
 	return err
 }
+
+// TestShardStatsAggregate pins the per-shard counter contract: File.Stats
+// reads/misses/evictions are exactly the sum over ShardStats, requests
+// actually land on the shard owning the page, and ResetStats zeroes the
+// shard counters too.
+func TestShardStatsAggregate(t *testing.T) {
+	const pages = 32
+	f := OpenMemConfig(Config{PoolPages: 8, Shards: 4})
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Update(id, func(p []byte) error { p[0] = byte(i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := f.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+
+	// Two sweeps: the first misses everywhere (pool is cold and smaller
+	// than the file, with evictions), the second adds reads on every shard.
+	for round := 0; round < 2; round++ {
+		for _, id := range ids {
+			if err := f.View(id, func([]byte) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	shards := f.ShardStats()
+	if len(shards) != f.NumShards() {
+		t.Fatalf("ShardStats has %d rows, NumShards = %d", len(shards), f.NumShards())
+	}
+	var sum ShardStats
+	for i, sh := range shards {
+		if sh.Reads == 0 {
+			t.Errorf("shard %d saw no reads; expected the sweep to hit every stripe", i)
+		}
+		sum.Reads += sh.Reads
+		sum.Misses += sh.Misses
+		sum.Evictions += sh.Evictions
+	}
+	st := f.Stats()
+	if st.Reads != sum.Reads || st.Misses != sum.Misses || st.Evictions != sum.Evictions {
+		t.Fatalf("Stats (%d/%d/%d) != shard sums (%d/%d/%d)",
+			st.Reads, st.Misses, st.Evictions, sum.Reads, sum.Misses, sum.Evictions)
+	}
+	if st.Reads != 2*pages {
+		t.Errorf("reads = %d, want %d", st.Reads, 2*pages)
+	}
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Errorf("cold sweep over an 8-frame pool should miss and evict (misses %d, evictions %d)", st.Misses, st.Evictions)
+	}
+
+	f.ResetStats()
+	st = f.Stats()
+	if st.Reads != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("after ResetStats: %+v", st)
+	}
+	for i, sh := range f.ShardStats() {
+		if sh != (ShardStats{}) {
+			t.Fatalf("after ResetStats shard %d = %+v", i, sh)
+		}
+	}
+}

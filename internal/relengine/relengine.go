@@ -20,7 +20,11 @@
 //
 // Per-query statistics accumulate in the relstore.ExecContext threaded
 // through every scan, so concurrent Execute calls against one store
-// never interfere.
+// never interfere. When the context carries an obs.Trace, the engine
+// additionally reports two wall-time spans on the calling goroutine —
+// PhaseScan around the fragment selections and PhaseJoin around the
+// D-join pipeline — that tile its execution time; without a trace the
+// reporting is a nil check and nothing more.
 package relengine
 
 import (
@@ -30,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 )
@@ -80,9 +85,12 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 		return &Result{}, nil
 	}
 	workers := opts.Workers()
+	tr := ctx.Trace()
 
 	// Evaluate every fragment.
+	scanBegin := tr.Begin()
 	bindings, err := scanFragments(ctx, st, p.Fragments, workers)
+	tr.End(obs.PhaseScan, scanBegin)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +99,9 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 			return &Result{}, nil
 		}
 	}
+
+	joinBegin := tr.Begin()
+	defer tr.End(obs.PhaseJoin, joinBegin)
 
 	if len(p.Joins) == 0 {
 		return &Result{Records: finalize(bindings[p.Return])}, nil

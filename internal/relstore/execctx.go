@@ -3,6 +3,7 @@ package relstore
 import (
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pager"
 )
 
@@ -22,10 +23,31 @@ import (
 type ExecContext struct {
 	visited atomic.Uint64
 	pages   pager.Counters
+	trace   *obs.Trace
 }
 
 // NewExecContext returns a fresh context with all counters at zero.
 func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// SetTrace attaches a phase trace to the context. Both engines and the
+// stream layer report spans into it via Trace(); with no trace attached
+// (the default) span recording is a nil check and nothing more. SetTrace
+// must be called before the context is shared with other goroutines.
+func (c *ExecContext) SetTrace(t *obs.Trace) {
+	if c != nil {
+		c.trace = t
+	}
+}
+
+// Trace returns the context's phase trace, nil-safely: a nil context or
+// an untraced query yields a nil *obs.Trace, on which every recording
+// method is a no-op.
+func (c *ExecContext) Trace() *obs.Trace {
+	if c == nil {
+		return nil
+	}
+	return c.trace
+}
 
 // Visited returns the number of records decoded by scans under this
 // context.

@@ -92,6 +92,10 @@ func (e *engine) sweepAll(ctx *relstore.ExecContext, workers int) ([][][]relstor
 	rootRecs = e.root.filter.Apply(rootRecs)
 
 	parts := partitionRoot(rootRecs, workers)
+	tr := ctx.Trace()
+	for _, part := range parts {
+		tr.AddPartition(uint64(len(part.rootRecs)))
+	}
 	if len(parts) == 1 {
 		return e.sweepPartition(ctx, parts[0], true)
 	}
@@ -155,7 +159,7 @@ func (e *engine) sweepPartition(ctx *relstore.ExecContext, part sweepPart, prefe
 			return nil, err
 		}
 		if prefetch {
-			st.streams[i] = newBatchStream(startPrefetch(bi, n.filter))
+			st.streams[i] = newBatchStream(startPrefetch(bi, n.filter, ctx.Trace()))
 		} else {
 			st.streams[i] = newBatchStream(newSyncSource(bi, n.filter))
 		}

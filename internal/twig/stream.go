@@ -2,6 +2,7 @@ package twig
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
@@ -77,17 +78,21 @@ type prefetchMsg struct {
 // prefetchSource reads batches on a dedicated goroutine, keeping up to
 // prefetchDepth filtered batches buffered ahead of the consumer. Each
 // batch gets a fresh buffer, so the consumer may hold one while the
-// producer fills the next.
+// producer fills the next. When tr is non-nil, the time the consumer
+// spends blocked on the channel accumulates under PhasePrefetchStall —
+// the sweep-side measure of how far prefetching fell behind.
 type prefetchSource struct {
 	ch     chan prefetchMsg
 	stop   chan struct{}
 	closed bool
+	tr     *obs.Trace
 }
 
-func startPrefetch(bi relstore.BatchIter, f core.RecFilter) *prefetchSource {
+func startPrefetch(bi relstore.BatchIter, f core.RecFilter, tr *obs.Trace) *prefetchSource {
 	s := &prefetchSource{
 		ch:   make(chan prefetchMsg, prefetchDepth),
 		stop: make(chan struct{}),
+		tr:   tr,
 	}
 	go func() {
 		defer close(s.ch)
@@ -119,7 +124,9 @@ func startPrefetch(bi relstore.BatchIter, f core.RecFilter) *prefetchSource {
 }
 
 func (s *prefetchSource) next() ([]relstore.Record, error) {
+	begin := s.tr.Begin()
 	msg, ok := <-s.ch
+	s.tr.End(obs.PhasePrefetchStall, begin)
 	if !ok {
 		return nil, nil
 	}

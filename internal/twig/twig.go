@@ -58,6 +58,17 @@
 // intermediate path solutions but reads the same elements, and the
 // conservative sweep is correct for the generalized level-gap edges that
 // BLAS plans carry.
+//
+// When the context carries an obs.Trace, Execute reports three
+// wall-time spans on the calling goroutine — PhaseScan around stream
+// preparation, PhaseSweep around the (possibly partitioned) sweep, and
+// PhaseJoin around the path-solution merge — that tile its execution
+// time. The parallel sweep additionally records one partition entry per
+// sweep partition (its root-record count) and accumulates
+// PhasePrefetchStall: the cumulative time sweep goroutines spent
+// blocked on prefetcher channels, summed across partitions, so it can
+// exceed the wall-clock sweep span. Without a trace all reporting is a
+// nil check and nothing more.
 package twig
 
 import (
@@ -65,6 +76,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 )
@@ -102,15 +114,23 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, cfg c
 	if p.Empty() {
 		return &Result{}, nil
 	}
+	tr := ctx.Trace()
+	scanBegin := tr.Begin()
 	eng, err := build(ctx, st, p)
+	tr.End(obs.PhaseScan, scanBegin)
 	if err != nil {
 		return nil, err
 	}
+	sweepBegin := tr.Begin()
 	leafSols, err := eng.sweepAll(ctx, cfg.Workers())
+	tr.End(obs.PhaseSweep, sweepBegin)
 	if err != nil {
 		return nil, err
 	}
-	return eng.merge(leafSols)
+	joinBegin := tr.Begin()
+	res, err := eng.merge(leafSols)
+	tr.End(obs.PhaseJoin, joinBegin)
+	return res, err
 }
 
 // tnode is one twig node: the static query structure plus the prepared
