@@ -74,6 +74,26 @@
 //   - Document shape: Store.Stats describes the shredded document and
 //     snapshots each relation file's buffer pool (PoolStats).
 //
+// # Serving
+//
+// For sustained traffic the library supports a resident serving tier.
+// Store.Prepare parses and translates a query once, returning a
+// PreparedQuery that may be executed any number of times, concurrently,
+// on either engine, with ExecStats.PlanElapsed = 0 — the plan-once,
+// execute-many path. NormalizeQuery maps every spelling of an XPath
+// expression onto one canonical form (the natural cache key), and
+// Store.Generation identifies a store's labeling scheme: a plan's
+// P-label ranges are minted by one shredding run, so caches holding
+// prepared plans must key them by generation or risk serving stale
+// label ranges after a store swap.
+//
+// Command blasd and package internal/server build the full daemon on
+// these primitives: an HTTP front end with a generation-keyed prepared
+// plan cache, a bounded result cache with explicit invalidation,
+// admission control (429 past a concurrency limit, a global parallelism
+// budget, per-request timeouts) and graceful drain, publishing both
+// StoreMetrics and its own counters over expvar-compatible endpoints.
+//
 // # Quick start
 //
 //	store, err := blas.BuildFromFile("catalog.xml", blas.Options{Dir: "catalog.blas"})
@@ -91,6 +111,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -131,6 +152,7 @@ var ErrClosed = errors.New("blas: store is closed")
 type Store struct {
 	inner   *core.Store
 	metrics *obs.Registry // lifetime query metrics, exposed via Metrics
+	gen     uint64        // process-unique store generation, see Generation
 
 	// Active-query refcount: Close waits for in-flight queries to drain
 	// instead of closing the files out from under them, and operations
@@ -143,11 +165,25 @@ type Store struct {
 	closeErr  error
 }
 
+// storeGeneration issues process-unique generation numbers; see
+// Store.Generation.
+var storeGeneration atomic.Uint64
+
 func newStore(inner *core.Store) *Store {
-	s := &Store{inner: inner, metrics: obs.NewRegistry()}
+	s := &Store{inner: inner, metrics: obs.NewRegistry(), gen: storeGeneration.Add(1)}
 	s.idle.L = &s.mu
 	return s
 }
+
+// Generation returns the store's process-unique generation number. Every
+// Store opened or built in this process gets a distinct generation, so
+// anything derived from a store — a PreparedQuery, a cached result — can
+// be keyed by generation and is automatically invalidated when the store
+// is swapped for a newly opened one, even one over the same directory.
+// A prepared plan depends on the store's P-label scheme; executing it
+// against a different store silently selects the wrong label ranges,
+// which is exactly the staleness generation keying prevents.
+func (s *Store) Generation() uint64 { return s.gen }
 
 // begin registers an in-flight operation, failing once Close has begun.
 func (s *Store) begin() error {
@@ -276,14 +312,15 @@ type QueryOptions struct {
 	Trace bool
 }
 
-// Match is one result node.
+// Match is one result node. The JSON field names are the wire format
+// blasd's POST /query responses use.
 type Match struct {
-	Start uint32 // position of the node's start tag
-	End   uint32 // position of the node's end tag
-	Level uint16 // depth (root = 1)
-	Tag   string // element tag ("@name" for attributes)
-	Value string // text value ("" if none)
-	Path  string // the node's source path, e.g. /site/people/person
+	Start uint32 `json:"start"`           // position of the node's start tag
+	End   uint32 `json:"end"`             // position of the node's end tag
+	Level uint16 `json:"level"`           // depth (root = 1)
+	Tag   string `json:"tag"`             // element tag ("@name" for attributes)
+	Value string `json:"value,omitempty"` // text value ("" if none)
+	Path  string `json:"path"`            // the node's source path, e.g. /site/people/person
 }
 
 // Result holds a query's matches plus execution statistics.
@@ -378,8 +415,13 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 		s.metrics.QueryFailed()
 		return nil, err
 	}
-	planElapsed := time.Since(planBegin)
+	return s.run(plan, time.Since(planBegin), opts, trace)
+}
 
+// run executes a translated plan and assembles the Result. The caller
+// has registered the operation (begin) and the query (QueryBegin); run
+// balances QueryBegin with QueryDone or QueryFailed.
+func (s *Store) run(plan *translate.Plan, planElapsed time.Duration, opts QueryOptions, trace *obs.Trace) (*Result, error) {
 	ctx := relstore.NewExecContext()
 	ctx.SetTrace(trace)
 	cfg := core.ExecConfig{Parallelism: opts.Parallelism}
@@ -442,16 +484,7 @@ func (s *Store) plan(query string, opts QueryOptions, trace *obs.Trace) (*transl
 		return nil, err
 	}
 	ctx := translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}
-	name := opts.Translator
-	if name == "" || name == TranslatorAuto {
-		// The paper's §5 recommendation: Unfold with schema information,
-		// Push-up without.
-		if ctx.Schema != nil {
-			name = TranslatorUnfold
-		} else {
-			name = TranslatorPushUp
-		}
-	}
+	name := s.EffectiveTranslator(opts.Translator)
 	translateBegin := trace.Begin()
 	defer trace.End(obs.PhaseTranslate, translateBegin)
 	tr, err := translate.ByName(string(name))
@@ -459,6 +492,113 @@ func (s *Store) plan(query string, opts QueryOptions, trace *obs.Trace) (*transl
 		return nil, err
 	}
 	return tr(ctx, q)
+}
+
+// EffectiveTranslator resolves the translator that Query and Prepare
+// will actually use: the empty string and TranslatorAuto follow the
+// paper's §5 recommendation (Unfold when the store has schema
+// information, Push-up otherwise); any other value is returned as given.
+// Cache layers key prepared plans by the effective translator so "auto"
+// and its resolution share one entry.
+func (s *Store) EffectiveTranslator(t Translator) Translator {
+	if t == "" || t == TranslatorAuto {
+		if s.inner.Schema() != nil {
+			return TranslatorUnfold
+		}
+		return TranslatorPushUp
+	}
+	return t
+}
+
+// NormalizeQuery parses an XPath expression and renders it in the
+// canonical form used as a cache key: whitespace and literal quote style
+// are erased, structure is preserved. Two queries with equal normal
+// forms produce identical plans and results on the same store.
+func NormalizeQuery(query string) (string, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
+// PreparedQuery is a query parsed and translated once, executable many
+// times without paying the planning cost again (the PlanElapsed share of
+// a Query call). A PreparedQuery is immutable and safe for concurrent
+// Query calls from any number of goroutines, on either engine; the
+// underlying plan is never mutated by execution (see package translate).
+//
+// A PreparedQuery is bound to the Store that prepared it: the plan's
+// P-label ranges come from that store's labeling scheme, so it must not
+// be executed against any other store. Cache layers must key prepared
+// queries by Store.Generation — see Generation for the failure mode.
+type PreparedQuery struct {
+	store *Store
+	plan  *translate.Plan
+	norm  string
+	gen   uint64
+}
+
+// Prepare parses and translates a query for repeated execution.
+// opts.Translator selects the translation strategy (resolved as in
+// Query); the other option fields are ignored — they are choices made
+// per execution, not per plan. Prepare returns ErrClosed once Close has
+// been called.
+func (s *Store) Prepare(query string, opts QueryOptions) (*PreparedQuery, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := translate.ByName(string(s.EffectiveTranslator(opts.Translator)))
+	if err != nil {
+		return nil, err
+	}
+	plan, err := tr(translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}, q)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{store: s, plan: plan, norm: q.String(), gen: s.gen}, nil
+}
+
+// Normalized returns the canonical rendering of the prepared query (see
+// NormalizeQuery).
+func (p *PreparedQuery) Normalized() string { return p.norm }
+
+// Translator returns the effective translator the plan was built with.
+func (p *PreparedQuery) Translator() Translator { return Translator(p.plan.Translator) }
+
+// Generation returns the generation of the Store this query was
+// prepared against.
+func (p *PreparedQuery) Generation() uint64 { return p.gen }
+
+// Joins returns the number of D-joins in the prepared plan.
+func (p *PreparedQuery) Joins() int { return p.plan.NumJoins() }
+
+// Query executes the prepared plan. opts.Engine, opts.Parallelism and
+// opts.Trace apply as in Store.Query; opts.Translator is ignored (the
+// plan is fixed at Prepare time). The returned ExecStats has PlanElapsed
+// zero — planning was paid once, in Prepare — so Elapsed is pure
+// execution time. It returns ErrClosed once the store's Close has been
+// called.
+func (p *PreparedQuery) Query(opts QueryOptions) (*Result, error) {
+	s := p.store
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("blas: QueryOptions.Parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", opts.Parallelism)
+	}
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	s.metrics.QueryBegin()
+	var trace *obs.Trace
+	if opts.Trace {
+		trace = obs.NewTrace()
+	}
+	return s.run(p.plan, 0, opts, trace)
 }
 
 // finalizeMatches renders records into Matches under a PhaseFinalize

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	blas "repro"
+)
+
+// CacheMetrics is one cache's traffic and occupancy snapshot.
+type CacheMetrics struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"` // entries dropped by purge (DELETE /cache, store swap)
+	Entries       int    `json:"entries"`
+	MaxEntries    int    `json:"max_entries"`
+	Bytes         int64  `json:"bytes,omitempty"`     // result cache only
+	MaxBytes      int64  `json:"max_bytes,omitempty"` // result cache only
+}
+
+// planKey identifies one prepared plan. The generation component is the
+// staleness guard: a plan's P-label ranges are minted by one store's
+// labeling scheme, so a plan prepared against generation G must never
+// serve a query against generation G' != G (same-path labels differ
+// between shredding runs). Keying on Store.Generation makes every entry
+// of a swapped-out store unreachable the moment the swap lands.
+type planKey struct {
+	gen        uint64
+	translator blas.Translator
+	query      string // normalized form (blas.NormalizeQuery)
+}
+
+// planCache is a bounded LRU of PreparedQuery by planKey, caching
+// exactly what ExecStats.PlanElapsed measures: parse + translate.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[planKey]*list.Element
+	lru     *list.List // front = most recently used; element values are *planEntry
+
+	hits, misses, evictions, invalidations uint64
+}
+
+type planEntry struct {
+	key planKey
+	pq  *blas.PreparedQuery
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: map[planKey]*list.Element{}, lru: list.New()}
+}
+
+func (c *planCache) get(k planKey) (*blas.PreparedQuery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).pq, true
+}
+
+func (c *planCache) put(k planKey, pq *blas.PreparedQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok { // lost a prepare race; keep the winner fresh
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&planEntry{key: k, pq: pq})
+	for len(c.entries) > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry, returning how many were dropped.
+func (c *planCache) purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = map[planKey]*list.Element{}
+	c.lru.Init()
+	c.invalidations += uint64(n)
+	return n
+}
+
+func (c *planCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Invalidations: c.invalidations, Entries: len(c.entries), MaxEntries: c.max,
+	}
+}
+
+// resultKey identifies one cached result set. Results are byte-identical
+// at every parallelism level (the engines' core guarantee), so the key
+// deliberately omits parallelism: a result computed with 4 workers
+// serves a sequential request. Engine stays in the key out of caution —
+// result equality across engines is an invariant the integration tests
+// enforce, not one the cache should silently depend on.
+type resultKey struct {
+	gen        uint64
+	engine     blas.Engine
+	translator blas.Translator
+	query      string // normalized form
+}
+
+// resultCache is a bounded LRU of query results with both an entry limit
+// and an approximate byte limit. Entries larger than the byte limit are
+// not cached at all.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	entries    map[resultKey]*list.Element
+	lru        *list.List // element values are *resultEntry
+
+	hits, misses, evictions, invalidations uint64
+}
+
+type resultEntry struct {
+	key  resultKey
+	res  *blas.Result
+	size int64
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries, maxBytes: maxBytes,
+		entries: map[resultKey]*list.Element{}, lru: list.New(),
+	}
+}
+
+// resultSize approximates a result's resident footprint: the string
+// payloads plus a fixed per-match overhead for the struct fields.
+func resultSize(res *blas.Result) int64 {
+	var n int64 = 256 // entry + stats overhead
+	for i := range res.Matches {
+		m := &res.Matches[i]
+		n += int64(len(m.Tag)+len(m.Value)+len(m.Path)) + 64
+	}
+	return n
+}
+
+func (c *resultCache) get(k resultKey) (*blas.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*resultEntry).res, true
+}
+
+// put caches a result. The caller must never mutate res afterwards — the
+// cache serves the same *Result to every hit.
+func (c *resultCache) put(k resultKey, res *blas.Result) {
+	size := resultSize(res)
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&resultEntry{key: k, res: res, size: size})
+	c.bytes += size
+	for len(c.entries) > c.maxEntries || c.bytes > c.maxBytes {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		e := tail.Value.(*resultEntry)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+func (c *resultCache) purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = map[resultKey]*list.Element{}
+	c.lru.Init()
+	c.bytes = 0
+	c.invalidations += uint64(n)
+	return n
+}
+
+func (c *resultCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Invalidations: c.invalidations, Entries: len(c.entries),
+		MaxEntries: c.maxEntries, Bytes: c.bytes, MaxBytes: c.maxBytes,
+	}
+}

@@ -20,6 +20,20 @@
 // optional value predicate) and a set of structural joins between
 // fragment bindings. Both query engines (relational and holistic twig
 // join) execute these plans; sqlgen renders them as SQL.
+//
+// # Plan reuse
+//
+// A *Plan is immutable once a translator returns it: both engines (and
+// sqlgen) only read it, and the translators clone the source query tree
+// into Plan.Source rather than aliasing caller memory. One plan may
+// therefore be executed any number of times, concurrently, on either
+// engine — this is what blas.PreparedQuery and the blasd plan cache
+// build on. The one caveat is that a plan's P-label ranges are minted by
+// one store's labeling scheme, so a plan is only reusable against the
+// store whose Context translated it; cache layers key plans by store
+// generation for exactly this reason. Code extending the engines must
+// preserve the read-only contract (annotate per-execution state on the
+// ExecContext, never on the plan).
 package translate
 
 import (

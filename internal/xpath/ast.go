@@ -79,7 +79,10 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
-// String renders the query in XPath syntax.
+// String renders the query in XPath syntax. The rendering is canonical:
+// parsing it yields a query tree whose String is identical, so String
+// serves as a normal form for query caching (two inputs differing only
+// in whitespace or literal quote style render identically).
 func (q Query) String() string {
 	var b strings.Builder
 	writeChain(&b, q.Root)
@@ -95,12 +98,27 @@ func writeChain(b *strings.Builder, n *Node) {
 			writeBranch(b, br)
 			b.WriteString("]")
 		}
-		if n.Value != nil {
-			b.WriteString(`="`)
-			b.WriteString(*n.Value)
-			b.WriteString(`"`)
-		}
+		writeValue(b, n.Value)
 	}
+}
+
+// writeValue renders a value predicate, picking the quote the value does
+// not contain. A parsed value can never contain both quote kinds (each
+// literal is delimited by one of them), so the output always reparses to
+// the same value; a hand-built value holding both kinds is not
+// expressible in the grammar and renders double-quoted.
+func writeValue(b *strings.Builder, v *string) {
+	if v == nil {
+		return
+	}
+	quote := `"`
+	if strings.Contains(*v, `"`) {
+		quote = `'`
+	}
+	b.WriteString("=")
+	b.WriteString(quote)
+	b.WriteString(*v)
+	b.WriteString(quote)
 }
 
 // writeBranch renders a predicate subtree; the leading child axis inside a
@@ -118,11 +136,7 @@ func writeBranch(b *strings.Builder, n *Node) {
 			writeBranch(b, br)
 			b.WriteString("]")
 		}
-		if n.Value != nil {
-			b.WriteString(`="`)
-			b.WriteString(*n.Value)
-			b.WriteString(`"`)
-		}
+		writeValue(b, n.Value)
 	}
 }
 

@@ -1,0 +1,98 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXPath exercises the parser on arbitrary input and checks the
+// canonicalization contract the serving tier's caches depend on: any
+// input that parses must render (String) to a form that reparses to the
+// byte-identical rendering. A violation means two equivalent queries
+// could normalize to different cache keys — or, worse, a valid query
+// could normalize to an unparseable string.
+func FuzzParseXPath(f *testing.F) {
+	for _, seed := range []string{
+		"/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+		"/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",
+		`/PLAYS/PLAY/ACT/SCENE[TITLE="SCENE III. A public place."]//LINE`,
+		"//category/description/parlist/listitem",
+		"/site/regions/asia/item[shipping]/description",
+		"/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+		`/a/b[c="v" and .d]//e/@id`,
+		`//a[b='has "quotes" inside']`,
+		`/a='x'`,
+		"/*//*[*]",
+		"/a[b][c][d]",
+		"//a[//b]",
+		"/a[" + strings.Repeat("b[", 200) + "c" + strings.Repeat("]", 201),
+		"////",
+		"/a=",
+		"[a]",
+		"/@",
+		`/a="unterminated`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejecting garbage is fine; panics and hangs are not
+		}
+		norm := q.String()
+		q2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but its rendering %q does not reparse: %v", input, norm, err)
+		}
+		if got := q2.String(); got != norm {
+			t.Fatalf("rendering is not a fixpoint: %q -> %q -> %q", input, norm, got)
+		}
+		// Clone must be deep and render-identical.
+		if got := q.Clone().String(); got != norm {
+			t.Fatalf("Clone changed rendering: %q -> %q", norm, got)
+		}
+	})
+}
+
+// TestPredicateDepthLimit pins the parser's recursion guard: nesting at
+// the limit parses, one level beyond errors instead of growing the stack
+// without bound.
+func TestPredicateDepthLimit(t *testing.T) {
+	nest := func(depth int) string {
+		return "/a" + strings.Repeat("[b", depth) + strings.Repeat("]", depth)
+	}
+	if _, err := Parse(nest(MaxPredicateDepth)); err != nil {
+		t.Fatalf("depth %d should parse: %v", MaxPredicateDepth, err)
+	}
+	if _, err := Parse(nest(MaxPredicateDepth + 1)); err == nil {
+		t.Fatalf("depth %d should be rejected", MaxPredicateDepth+1)
+	}
+	// Sibling predicate groups do not count toward nesting depth.
+	if _, err := Parse("/a" + strings.Repeat("[b]", MaxPredicateDepth+8)); err != nil {
+		t.Fatalf("sibling predicates should parse: %v", err)
+	}
+}
+
+// TestNormalizeQuoteChoice pins the bug FuzzParseXPath found in the seed
+// renderer: a value literal containing double quotes (only expressible
+// single-quoted) used to render double-quoted and fail to reparse.
+func TestNormalizeQuoteChoice(t *testing.T) {
+	for _, in := range []string{
+		`//a[b='has "quotes" inside']`,
+		`/a[b='it is']`,
+		`/a="mixed 'single' ok"`,
+	} {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		norm := q.String()
+		q2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not reparse: %v", norm, in, err)
+		}
+		if got := q2.String(); got != norm {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", in, norm, got)
+		}
+	}
+}

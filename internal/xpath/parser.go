@@ -141,9 +141,15 @@ func isNameChar(r rune) bool {
 	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
+// MaxPredicateDepth bounds predicate nesting ([a[b[c...]]]). The parser
+// recurses once per bracket level, so an unbounded input could exhaust
+// the stack; real queries nest a handful of levels at most.
+const MaxPredicateDepth = 128
+
 type parser struct {
-	lex *lexer
-	cur token
+	lex   *lexer
+	cur   token
+	depth int // current predicate nesting depth
 }
 
 func (p *parser) next() token {
@@ -206,6 +212,10 @@ func (p *parser) parseStep(axis Axis) (*Node, error) {
 	tok := p.next()
 	n := &Node{Axis: axis, Tag: tok.text}
 	for p.at(tokLBracket) {
+		p.depth++
+		if p.depth > MaxPredicateDepth {
+			return nil, fmt.Errorf("xpath: predicates nested deeper than %d at position %d", MaxPredicateDepth, p.peek().pos)
+		}
 		p.next()
 		for {
 			branch, err := p.parsePath(false)
@@ -223,6 +233,7 @@ func (p *parser) parseStep(axis Axis) (*Node, error) {
 			return nil, fmt.Errorf("xpath: expected ] at position %d, got %q", p.peek().pos, p.peek().text)
 		}
 		p.next()
+		p.depth--
 	}
 	if p.at(tokEquals) {
 		p.next()
