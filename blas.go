@@ -94,6 +94,48 @@
 // budget, per-request timeouts) and graceful drain, publishing both
 // StoreMetrics and its own counters over expvar-compatible endpoints.
 //
+// # Static guarantees
+//
+// The contracts above are machine-checked: cmd/blasvet runs the
+// analyzer suite in internal/analysis over the whole tree, and CI
+// treats any finding as a build break. The invariants and their
+// analyzers:
+//
+//   - pagerpin — the pager pin contract. The []byte passed to a
+//     pager.View/ViewCounted/Update callback is valid only until the
+//     callback returns; the analyzer flags every way an alias of it can
+//     escape (assigned or appended to outer state, stored through a
+//     field, sent on a channel, returned, captured by a goroutine or a
+//     closure that outlives the call). Copy out, never retain.
+//   - hotalloc — zero-alloc hot paths. Functions annotated with a
+//     //blas:hotpath directive in their doc comment (the twig join-key
+//     and sweep path, batched record decode, the nil-trace fast paths
+//     in internal/obs) must not call fmt.Sprintf and friends,
+//     concatenate strings in loops, or build map keys from strings;
+//     fmt.Errorf stays legal because error paths are about to abort.
+//     Zero-alloc benchmark guards prove the property dynamically and
+//     TestHotpathAnnotations in twig and obs fails if the annotation
+//     set drifts off the benchmarked functions.
+//   - lockescape — lock scope. While a sync.Mutex/RWMutex is held, no
+//     buffer-pool re-entry (View, Update, Alloc, ...) and no calls
+//     through function-typed parameters: pin the frame, unlock, then
+//     run the callback.
+//   - execctx — counter threading. Measured relstore entry points take
+//     a per-query *relstore.ExecContext as their first parameter, and
+//     relstore/pbtree/pager declare no package-level counter state.
+//   - closecheck — teardown errors. A bare x.Close()/Flush()/Sync()
+//     statement silently drops an error that can carry data loss;
+//     handle it or write _ = x.Close() so the drop is explicit.
+//
+// Run the suite with:
+//
+//	go run ./cmd/blasvet ./...
+//
+// A deliberate violation is suppressed in place — the reason is
+// mandatory, and unused or malformed directives are findings too:
+//
+//	//blas:ignore <analyzer> <reason>
+//
 // # Quick start
 //
 //	store, err := blas.BuildFromFile("catalog.xml", blas.Options{Dir: "catalog.blas"})

@@ -118,7 +118,9 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errCh:
-		store.Close()
+		if cerr := store.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "blasd: close:", cerr)
+		}
 		fmt.Fprintln(os.Stderr, "blasd:", err)
 		os.Exit(1)
 	case <-ctx.Done():

@@ -1,0 +1,95 @@
+// Command blasvet runs the BLAS analyzer suite (internal/analysis) over
+// the tree: the machine-checked half of the engine's concurrency and
+// hot-path contracts. CI runs it as a hard gate; run it locally with
+//
+//	go run ./cmd/blasvet ./...
+//
+// Each finding prints as file:line:col: [analyzer] message and the exit
+// status is 1 when anything is found. Suppress a deliberate violation
+// with //blas:ignore <analyzer> <reason> on or above the flagged line;
+// see the package doc of internal/analysis for the analyzer list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: blasvet [-list] [package dir | ./...] ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, err := load(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blasvet:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blasvet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "blasvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// load resolves the argument patterns to parsed packages. A trailing
+// /... loads the whole subtree; a plain path loads one directory.
+func load(args []string) ([]*analysis.Package, error) {
+	var pkgs []*analysis.Package
+	fset := token.NewFileSet()
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "/..."); ok {
+			if root == "." || root == "" {
+				root = "."
+			}
+			tree, err := analysis.LoadTree(root)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, tree...)
+			continue
+		}
+		pkg, err := analysis.LoadDir(fset, arg, filepath.Clean(arg))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("%s: no Go files", arg)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

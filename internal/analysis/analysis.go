@@ -1,0 +1,191 @@
+// Package analysis is blasvet's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass shape (the module vendors nothing, so the real framework
+// is not available), plus the suite of BLAS-specific analyzers that
+// machine-check the engine's concurrency and hot-path contracts:
+//
+//   - pagerpin:   the pager pin contract — callbacks passed to
+//     pager.View/ViewCounted/Update must not let the page buffer
+//     escape (copy out, never retain).
+//   - hotalloc:   no fmt.Sprintf-style formatting, no string
+//     concatenation in loops and no string-built map keys inside
+//     functions annotated //blas:hotpath.
+//   - lockescape: no buffer-pool re-entry and no user callbacks while
+//     a mutex is held (the invariant View upholds by pinning the frame
+//     and releasing the shard lock before the callback runs).
+//   - execctx:    relstore/pbtree/pager entry points that record
+//     counters must thread a per-query *relstore.ExecContext instead
+//     of package-level counter state.
+//   - closecheck: the error returned by a bare x.Close()/Flush()/Sync()
+//     statement must be checked or explicitly assigned to _.
+//
+// The analyzers are syntactic: packages are parsed, not type-checked
+// (the toolchain's export data is not loadable without the x/tools
+// loader), so each analyzer matches the idioms this codebase actually
+// uses and is tuned to be quiet on the real tree. False positives are
+// suppressed with a //blas:ignore directive:
+//
+//	//blas:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory, the analyzer name must exist, and a directive that
+// suppresses nothing is itself an error — suppressions cannot rot
+// silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one blasvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //blas:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full blasvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{PagerPin, HotAlloc, LockEscape, ExecCtx, CloseCheck}
+}
+
+// byName resolves an analyzer name from a //blas:ignore directive.
+func byName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Fset returns the file set the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// IgnoreDirective is the parsed form of a //blas:ignore comment.
+const ignorePrefix = "//blas:ignore"
+
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+	bad      string // non-empty: the directive itself is malformed
+}
+
+// parseIgnores collects the //blas:ignore directives of every file.
+func parseIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				d.analyzer = name
+				d.reason = strings.TrimSpace(reason)
+				switch {
+				case d.analyzer == "":
+					d.bad = "missing analyzer name: want //blas:ignore <analyzer> <reason>"
+				case byName(d.analyzer) == nil:
+					d.bad = fmt.Sprintf("unknown analyzer %q", d.analyzer)
+				case d.reason == "":
+					d.bad = fmt.Sprintf("missing reason: want //blas:ignore %s <reason>", d.analyzer)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage applies analyzers to pkg and returns the surviving
+// diagnostics: findings not suppressed by a well-formed //blas:ignore
+// directive on the same or the preceding line, plus one diagnostic for
+// every malformed or unused directive.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := parseIgnores(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	diags:
+		for _, d := range pass.diags {
+			for _, ig := range ignores {
+				if ig.bad != "" || ig.analyzer != d.Analyzer || ig.pos.Filename != d.Pos.Filename {
+					continue
+				}
+				if ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1 {
+					ig.used = true
+					continue diags
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	for _, ig := range ignores {
+		switch {
+		case ig.bad != "":
+			out = append(out, Diagnostic{Analyzer: "blasvet", Pos: ig.pos, Message: "malformed //blas:ignore: " + ig.bad})
+		case !ig.used:
+			out = append(out, Diagnostic{Analyzer: "blasvet", Pos: ig.pos,
+				Message: fmt.Sprintf("//blas:ignore %s suppresses nothing; delete it", ig.analyzer)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture tests mirror golang.org/x/tools/go/analysis/analysistest:
+// each testdata/src/<analyzer> package carries `// want "regexp"`
+// comments on the lines expected to be flagged (several quoted regexps
+// when one line yields several findings), and clean variants with no
+// marker. Every reported diagnostic must match a want on its line and
+// every want must be consumed.
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// fixtureExpectations scans the package's comments for want markers,
+// keyed by file:line.
+func fixtureExpectations(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	out := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantQuoted.FindAllString(c.Text[idx+len("// want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					out[key] = append(out[key], &expectation{re: regexp.MustCompile(pat)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(token.NewFileSet(), dir, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("%s: no Go files", dir)
+	}
+	wants := fixtureExpectations(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("%s: fixture carries no // want expectations", dir)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+func TestPagerPinFixtures(t *testing.T) { runFixture(t, PagerPin, "pagerpin") }
+
+func TestHotAllocFixtures(t *testing.T) { runFixture(t, HotAlloc, "hotalloc") }
+
+func TestLockEscapeFixtures(t *testing.T) { runFixture(t, LockEscape, "lockescape") }
+
+func TestExecCtxFixtures(t *testing.T) { runFixture(t, ExecCtx, "execctx") }
+
+func TestCloseCheckFixtures(t *testing.T) { runFixture(t, CloseCheck, "closecheck") }
+
+// TestIgnoreDirectives covers the suppression machinery beyond the one
+// sanctioned ignore in the pagerpin fixture: a well-formed directive
+// suppresses exactly its line, and malformed or unused directives are
+// findings in their own right — suppressions cannot rot silently.
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func helper(f closer) {
+	//blas:ignore closecheck
+	f.Close()
+	//blas:ignore nosuch because reasons
+	//blas:ignore closecheck fixture cleanup is best-effort
+	f.Close()
+}
+
+//blas:ignore closecheck this suppresses nothing
+func unusedSite() {}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(token.NewFileSet(), dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{CloseCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"missing reason",             // //blas:ignore closecheck — malformed, suppresses nothing
+		"Close error discarded",      // ...so the first f.Close() still fires
+		`unknown analyzer "nosuch"`,  // bad analyzer name
+		"suppresses nothing; delete", // well-formed but unused
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diag %d = %s, want substring %q", i, diags[i], w)
+		}
+	}
+	// The second f.Close() must have been suppressed by the well-formed
+	// directive on the preceding line.
+	for _, d := range diags {
+		if d.Pos.Line == 12 && d.Analyzer == "closecheck" {
+			t.Errorf("suppressed finding leaked: %s", d)
+		}
+	}
+}
+
+// TestBlasvetSelf asserts the real tree is clean under the full suite —
+// the same gate CI runs via cmd/blasvet. The package-count floor guards
+// against LoadTree silently skipping real code and vacuously passing.
+func TestBlasvetSelf(t *testing.T) {
+	pkgs, err := LoadTree(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from the module root; LoadTree is skipping real code", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Path, d)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HotpathFuncs returns the names of the functions in the package at dir
+// annotated //blas:hotpath. The zero-alloc drift tests in internal/twig
+// and internal/obs use this to assert the annotation set and the
+// benchmark guards cover the same functions — an annotation that drifts
+// off a benchmarked function fails the test loudly.
+func HotpathFuncs(dir string) (map[string]bool, error) {
+	pkg, err := LoadDir(token.NewFileSet(), dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	if pkg == nil {
+		return out, nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasHotpath(fd.Doc) {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "go/ast"
+
+// CloseCheck is an errcheck-style analyzer scoped to the resource
+// teardown methods whose errors this codebase has actually dropped:
+// a bare statement-position call to Close, Flush or Sync discards an
+// error that can carry real data loss (a failed fsync on the store
+// files, an unflushed result writer at blasd shutdown). The call must
+// either use the error (if err := f.Close(); ... / return f.Close())
+// or discard it explicitly with `_ = f.Close()` so the drop is visible
+// at the call site. defer f.Close() is accepted: Go offers no
+// non-contorted way to check a deferred error, and the deferred form
+// marks best-effort cleanup.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "flag bare Close/Flush/Sync statements that silently drop the returned error",
+	Run:  runCloseCheck,
+}
+
+// teardownMethods are the checked method names.
+var teardownMethods = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runCloseCheck(pass *Pass) error {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !teardownMethods[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(st.Pos(), "%s error discarded silently; handle it or write `_ = %s.%s()` to make the drop explicit", sel.Sel.Name, exprString(sel.X), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

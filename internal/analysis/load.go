@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed (not type-checked) Go package.
+type Package struct {
+	Dir   string // directory the files were read from
+	Path  string // display path (module-relative when loaded by LoadTree)
+	Name  string // package name
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// LoadDir parses the non-test Go files of the package in dir. Files are
+// parsed with comments (the annotations and ignore directives live
+// there) and with object resolution (the escape analyses track local
+// variables through ast.Object). Returns nil with no error when the
+// directory holds no Go files.
+func LoadDir(fset *token.FileSet, dir, display string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Path: display, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", display, err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return nil, fmt.Errorf("%s: mixed packages %s and %s", display, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// skipDir names directories never descended into: they hold fixtures,
+// third-party code or tool state, not packages of this module.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadTree loads every package under root (the module root or any
+// subtree), in stable path order, sharing one FileSet. Directories
+// named testdata or vendor and hidden directories are skipped, matching
+// what go build ./... would compile.
+func LoadTree(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		display, err := filepath.Rel(root, dir)
+		if err != nil {
+			display = dir
+		}
+		pkg, err := LoadDir(fset, dir, display)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

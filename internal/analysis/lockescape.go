@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// LockEscape enforces the lock-scope discipline the sharded pager is
+// built on: while a sync.Mutex/RWMutex is held, code must not re-enter
+// the buffer pool and must not run user-supplied callbacks. View
+// upholds this by pinning the frame and releasing the shard lock before
+// the callback runs; a callback (or a nested pool request) issued under
+// the lock can deadlock on the same shard or run user code inside a
+// critical section.
+//
+// Held locks are tracked per function, syntactically, between
+// x.Lock()/x.RLock() and the matching x.Unlock()/x.RUnlock() on the
+// same lock expression; defer x.Unlock() holds the lock to the end of
+// the function. An Unlock inside a conditional branch releases only
+// within that branch (the fall-through path conservatively stays
+// locked). While at least one lock is held the analyzer reports:
+//
+//   - calls to the pool entry points View, ViewCounted, Update,
+//     ReadCounted, Alloc, DropCache and DropCaches;
+//   - calls through a function-typed parameter of the enclosing
+//     function — a user callback.
+//
+// Function literals are analyzed as their own scope: a goroutine body
+// does not inherit the spawner's locks (it runs later), and lock pairs
+// inside a deferred closure are matched within the closure.
+var LockEscape = &Analyzer{
+	Name: "lockescape",
+	Doc:  "flag pool re-entry and user callbacks invoked while a mutex is held",
+	Run:  runLockEscape,
+}
+
+// poolEntryPoints are the method names whose call under a held lock is
+// reported (pool re-entry).
+var poolEntryPoints = map[string]bool{
+	"View": true, "ViewCounted": true, "Update": true,
+	"ReadCounted": true, "Alloc": true, "DropCache": true, "DropCaches": true,
+}
+
+func runLockEscape(pass *Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockScope(pass, fd.Type, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLockScope analyzes one function (declaration or literal).
+func checkLockScope(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	w := &lockWalker{pass: pass, callbacks: funcParams(ft)}
+	w.block(body.List, map[string]bool{})
+}
+
+// funcParams collects the function-typed parameter names of ft — the
+// user callbacks that must not run under a lock.
+func funcParams(ft *ast.FuncType) map[string]bool {
+	out := map[string]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		if _, ok := field.Type.(*ast.FuncType); !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass      *Pass
+	callbacks map[string]bool
+}
+
+// lockCallKind classifies a statement expression as a lock acquisition
+// or release and returns the lock's printed receiver expression.
+func lockCallKind(e ast.Expr) (key string, acquire, release bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// block walks one statement list, threading the held-lock set. Nested
+// control-flow bodies get a copy of the set: a branch that unlocks and
+// returns must not clear the lock on the fall-through path.
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if key, acq, rel := lockCallKind(st.X); acq {
+				held[key] = true
+				continue
+			} else if rel {
+				delete(held, key)
+				continue
+			}
+			w.check(st.X, held)
+		case *ast.DeferStmt:
+			if _, _, rel := lockCallKind(st.Call); rel {
+				continue // lock held to the end of the function
+			}
+			w.check(st.Call, held)
+		case *ast.BlockStmt:
+			w.block(st.List, held)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				w.check(st.Init, held)
+			}
+			w.check(st.Cond, held)
+			w.block(st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				w.block([]ast.Stmt{st.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if st.Init != nil {
+				w.check(st.Init, held)
+			}
+			w.block(st.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			w.check(st.X, held)
+			w.block(st.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if st.Init != nil {
+				w.check(st.Init, held)
+			}
+			w.caseBodies(st.Body, held)
+		case *ast.TypeSwitchStmt:
+			w.caseBodies(st.Body, held)
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.block(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			w.block([]ast.Stmt{st.Stmt}, held)
+		default:
+			w.check(s, held)
+		}
+	}
+}
+
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			w.block(cc.Body, copyHeld(held))
+		}
+	}
+}
+
+// check inspects a node for denied calls under held locks, descending
+// into expressions but analyzing nested function literals as fresh
+// scopes.
+func (w *lockWalker) check(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			checkLockScope(w.pass, m.Type, m.Body)
+			return false
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			switch fun := m.Fun.(type) {
+			case *ast.SelectorExpr:
+				if poolEntryPoints[fun.Sel.Name] {
+					w.pass.Reportf(m.Pos(), "%s called while %s is held: pool re-entry under a lock can deadlock on the shard; release the lock (pin the frame) first", fun.Sel.Name, heldNames(held))
+				}
+			case *ast.Ident:
+				if w.callbacks[fun.Name] {
+					w.pass.Reportf(m.Pos(), "callback %s invoked while %s is held; run user callbacks outside the critical section (pin, unlock, then call)", fun.Name, heldNames(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	if len(held) == 1 {
+		for k := range held {
+			return k
+		}
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	// Small sets; insertion order is map order — sort for determinism.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += ", " + k
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package closecheck
+
+import "os"
+
+// teardown handles or explicitly discards every error.
+func teardown(f, tmp *os.File) error {
+	defer f.Close() // deferred best-effort cleanup is accepted
+	_ = tmp.Close() // explicit discard is visible at the call site
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+type conn struct{}
+
+func (conn) Close(reason string) {}
+
+// closeWithArgs: a Close that takes arguments is a different API with
+// nothing to check.
+func closeWithArgs(c conn) {
+	c.Close("shutdown")
+}

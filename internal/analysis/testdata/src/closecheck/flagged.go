@@ -1,0 +1,19 @@
+// Package closecheck holds the positive fixtures for the closecheck
+// analyzer: bare teardown calls whose error vanishes.
+package closecheck
+
+import "os"
+
+// shutdown drops every teardown error on the floor.
+func shutdown(f *os.File) {
+	f.Sync()  // want "Sync error discarded silently"
+	f.Close() // want "Close error discarded silently"
+}
+
+type writer struct{}
+
+func (writer) Flush() error { return nil }
+
+func flushAll(w writer) {
+	w.Flush() // want "Flush error discarded silently"
+}

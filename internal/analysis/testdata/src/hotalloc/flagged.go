@@ -1,0 +1,66 @@
+// Package hotalloc holds the positive fixtures for the hotalloc
+// analyzer: the allocation patterns banned inside //blas:hotpath
+// functions.
+package hotalloc
+
+import "fmt"
+
+// describe formats on the hot path.
+//
+//blas:hotpath
+func describe(a, b uint32) string {
+	return fmt.Sprintf("%d/%d", a, b) // want "fmt.Sprintf on a //blas:hotpath function allocates per call"
+}
+
+// joinAll grows a string per iteration.
+//
+//blas:hotpath
+func joinAll(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		_ = p
+		out += "/" // want "string \\+= in a loop"
+	}
+	return out
+}
+
+// concatLoop rebuilds the accumulator per iteration.
+//
+//blas:hotpath
+func concatLoop(parts []string) string {
+	s := ""
+	for i := 0; i < len(parts); i++ {
+		s = s + "," // want "string concatenation in a loop"
+	}
+	return s
+}
+
+// lookup builds its map key by concatenation on every call.
+//
+//blas:hotpath
+func lookup(counts map[string]int, a, b string) int {
+	return counts[a+"/"+b] // want "string-built map key"
+}
+
+// lookupf builds its map key with fmt: both the formatting call and
+// the key construction are flagged.
+//
+//blas:hotpath
+func lookupf(counts map[string]int, a, b uint32) int {
+	return counts[fmt.Sprintf("%d/%d", a, b)] // want "fmt.Sprintf" "string-built map key"
+}
+
+// nestedLoop: the loop context reaches through nested statements.
+//
+//blas:hotpath
+func nestedLoop(rows [][]string) string {
+	out := ""
+	for _, row := range rows {
+		for range row {
+			if len(out) < 64 {
+				out += "." // want "string \\+= in a loop"
+			}
+		}
+	}
+	return out
+}

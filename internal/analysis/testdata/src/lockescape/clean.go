@@ -1,0 +1,46 @@
+package lockescape
+
+import "sync"
+
+type cleanShard struct {
+	mu    sync.Mutex
+	pages pool
+	pins  int
+}
+
+// pinThenCall is the contract pager.View upholds: pin under the lock,
+// release it, then run the callback against the pinned frame.
+func (s *cleanShard) pinThenCall(fn func([]byte) error) error {
+	s.mu.Lock()
+	s.pins++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.pins--
+		s.mu.Unlock()
+	}()
+	return fn(nil)
+}
+
+// allocUnlocked performs its pool calls outside the critical section.
+func (s *cleanShard) allocUnlocked() (uint32, error) {
+	pg, err := s.pages.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.pins++
+	s.mu.Unlock()
+	return pg, nil
+}
+
+// pairedInBranch: every path unlocks before the pool call that follows
+// the critical section.
+func (s *cleanShard) pairedInBranch(evict bool) (uint32, error) {
+	s.mu.Lock()
+	if evict {
+		s.pins = 0
+	}
+	s.mu.Unlock()
+	return s.pages.Alloc()
+}

@@ -1,0 +1,57 @@
+// Package lockescape holds the positive fixtures for the lockescape
+// analyzer: pool re-entry and user callbacks run while a shard lock is
+// held.
+package lockescape
+
+import "sync"
+
+type pool struct{}
+
+func (pool) View(pg uint32, fn func([]byte) error) error { return fn(nil) }
+
+func (pool) Alloc() (uint32, error) { return 0, nil }
+
+type shard struct {
+	mu    sync.Mutex
+	pages pool
+	pins  int
+}
+
+// reentry re-enters the pool while the shard lock is held: if View
+// needs the same shard it deadlocks.
+func (s *shard) reentry(pg uint32) error {
+	s.mu.Lock()
+	err := s.pages.View(pg, func(p []byte) error { return nil }) // want "View called while s.mu is held"
+	s.mu.Unlock()
+	return err
+}
+
+// callbackUnderLock runs the user callback inside the critical section
+// instead of pinning the frame and unlocking first.
+func (s *shard) callbackUnderLock(fn func([]byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(nil) // want "callback fn invoked while s.mu is held"
+}
+
+// branchUnlock: the early-return branch unlocks, but the fall-through
+// path still holds the lock when it re-enters the pool.
+func (s *shard) branchUnlock(full bool) (uint32, error) {
+	s.mu.Lock()
+	if full {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	pg, err := s.pages.Alloc() // want "Alloc called while s.mu is held"
+	s.mu.Unlock()
+	return pg, err
+}
+
+// loopedCallback: held state reaches into loop bodies.
+func (s *shard) loopedCallback(fns []func([]byte) error, fn func([]byte) error) {
+	s.mu.Lock()
+	for range fns {
+		_ = fn(nil) // want "callback fn invoked while s.mu is held"
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+package pagerpin
+
+// cleanCopy copies out of the page before the callback returns — the
+// canonical decode pattern (string conversion and ellipsis append both
+// copy the bytes).
+func cleanCopy(f pager) (string, []byte, error) {
+	var name string
+	buf := make([]byte, 0, 16)
+	err := f.View(7, func(p []byte) error {
+		name = string(p[2:10])
+		buf = append(buf, p[8:16]...)
+		return nil
+	})
+	return name, buf, err
+}
+
+// cleanLocal aliases stay local: scratch lives and dies inside the
+// callback.
+func cleanLocal(f pager) error {
+	return f.View(3, func(p []byte) error {
+		hdr := p[:16]
+		n := int(hdr[0])
+		_ = n
+		return nil
+	})
+}
+
+// cleanLocalContainer: storing the alias into a callback-local
+// container is fine; the container never leaves either.
+func cleanLocalContainer(f pager) error {
+	return f.View(3, func(p []byte) error {
+		var scratch record
+		scratch.raw = p[:8]
+		scratch.name = string(scratch.raw)
+		return nil
+	})
+}
+
+// cleanCallResult: function-call results are copies under the pin
+// contract (every in-tree decoder copies out of the page).
+func cleanCallResult(f pager) error {
+	var total int
+	return f.View(4, func(p []byte) error {
+		total += len(p)
+		_ = total
+		return nil
+	})
+}

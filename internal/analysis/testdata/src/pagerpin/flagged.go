@@ -1,0 +1,120 @@
+// Package pagerpin holds the positive fixtures for the pagerpin
+// analyzer: every way a View/ViewCounted/Update callback can leak the
+// page buffer past the callback's return.
+package pagerpin
+
+type pager struct{}
+
+func (pager) View(pg uint32, fn func([]byte) error) error { return fn(nil) }
+
+func (pager) Update(pg uint32, fn func([]byte) error) error { return fn(nil) }
+
+func (pager) ViewCounted(pg uint32, fn func([]byte) ([]byte, error)) ([]byte, error) {
+	return fn(nil)
+}
+
+type record struct {
+	raw  []byte
+	name string
+}
+
+type holder struct{ buf []byte }
+
+var keep []byte
+
+var recs []record
+
+var h holder
+
+var ch = make(chan []byte, 1)
+
+var deferred func()
+
+// escapeDirect retains the raw page slice after the callback returns.
+func escapeDirect(f pager) error {
+	return f.View(7, func(p []byte) error {
+		keep = p // want "assigned to keep, declared outside the callback"
+		return nil
+	})
+}
+
+// escapeSubslice: a sub-slice aliases the same frame.
+func escapeSubslice(f pager) error {
+	return f.View(7, func(p []byte) error {
+		hdr := p[:16]
+		keep = hdr // want "assigned to keep"
+		return nil
+	})
+}
+
+// escapeStruct smuggles the alias out inside a struct appended to a
+// package-level slice.
+func escapeStruct(f pager) error {
+	return f.View(7, func(p []byte) error {
+		r := record{raw: p[2:], name: "x"}
+		recs = append(recs, r) // want "assigned to recs"
+		return nil
+	})
+}
+
+// escapeFieldStore writes the alias through a field of an outer value.
+func escapeFieldStore(f pager) error {
+	return f.Update(3, func(p []byte) error {
+		h.buf = p // want "stored into memory that outlives the callback"
+		return nil
+	})
+}
+
+// escapeSend ships the slice to another goroutine.
+func escapeSend(f pager) error {
+	return f.View(1, func(p []byte) error {
+		ch <- p[8:] // want "sent on a channel"
+		return nil
+	})
+}
+
+// escapeReturn returns an alias through the callback's results.
+func escapeReturn(f pager) ([]byte, error) {
+	return f.ViewCounted(9, func(p []byte) ([]byte, error) {
+		return p[4:], nil // want "returned"
+	})
+}
+
+// escapeGoroutine reads the buffer after the frame may be unpinned.
+func escapeGoroutine(f pager) error {
+	return f.View(1, func(p []byte) error {
+		go func() { keep = p }() // want "captured by a goroutine"
+		return nil
+	})
+}
+
+// escapeClosure stores a closure over the buffer for a later call.
+func escapeClosure(f pager) error {
+	return f.View(2, func(p []byte) error {
+		deferred = func() { keep = p } // want "captured by a closure that may outlive the callback"
+		return nil
+	})
+}
+
+// escapeNoCopy mirrors a relstore scan callback whose copy-out was
+// deleted: the decoded record keeps pointing into the frame instead of
+// copying out of it. This is the regression the CI gate exists for.
+func escapeNoCopy(f pager) error {
+	var rec record
+	err := f.View(11, func(p []byte) error {
+		rec = record{raw: p[4:20]} // want "assigned to rec"
+		return nil
+	})
+	_ = rec
+	return err
+}
+
+// suppressed: the one sanctioned //blas:ignore in the fixtures — the
+// consumer here is (stipulated to be) synchronous and copying.
+func suppressed(f pager) error {
+	return f.View(5, func(p []byte) error {
+		//blas:ignore pagerpin fixture stipulates a synchronous copying consumer
+		keep = p
+		return nil
+	})
+}

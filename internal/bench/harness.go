@@ -41,7 +41,7 @@ func New() *Harness {
 // Close releases every cached store.
 func (h *Harness) Close() {
 	for k, st := range h.stores {
-		st.Close()
+		_ = st.Close()
 		delete(h.stores, k)
 	}
 }

@@ -106,7 +106,7 @@ func (t *Trajectory) WriteFile(dir string) (string, error) {
 		return "", err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmp.Name())
 		return "", err
 	}

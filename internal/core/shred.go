@@ -98,7 +98,7 @@ func BuildFromReader(open func() (io.ReadCloser, error), opts Options) (*Store, 
 		},
 	}
 	if err := sax.Parse(r1, h1); err != nil {
-		r1.Close()
+		_ = r1.Close()
 		return nil, err
 	}
 	if err := r1.Close(); err != nil {
@@ -247,14 +247,12 @@ func finishBuild(sh *shredder, graph *schema.Graph, opts Options) (*Store, error
 	}
 	sp, err := relstore.Build(spFile, relstore.ClusterPLabel, sh.records)
 	if err != nil {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: build SP: %w", err)
 	}
 	sd, err := relstore.Build(sdFile, relstore.ClusterTag, sh.records)
 	if err != nil {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: build SD: %w", err)
 	}
 
@@ -274,8 +272,7 @@ func finishBuild(sh *shredder, graph *schema.Graph, opts Options) (*Store, error
 	}
 	if opts.Dir != "" {
 		if err := saveMeta(opts.Dir, meta); err != nil {
-			spFile.Close()
-			sdFile.Close()
+			closeBoth(spFile, sdFile)
 			return nil, err
 		}
 	}

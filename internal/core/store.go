@@ -137,10 +137,18 @@ func openFiles(opts Options, create bool) (sp, sd *pager.File, err error) {
 	}
 	sd, err = pager.OpenConfig(filepath.Join(opts.Dir, "sd.pg"), cfg)
 	if err != nil {
-		sp.Close()
+		_ = sp.Close()
 		return nil, nil, err
 	}
 	return sp, sd, nil
+}
+
+// closeBoth releases both relation files on an error path. The closes
+// are best-effort: the error already being returned is the one the
+// caller reports.
+func closeBoth(spFile, sdFile *pager.File) {
+	_ = spFile.Close()
+	_ = sdFile.Close()
 }
 
 // Open opens an existing on-disk store.
@@ -166,8 +174,7 @@ func Open(opts Options) (*Store, error) {
 func assemble(meta storeMeta, spFile, sdFile *pager.File) (*Store, error) {
 	scheme, err := plabel.NewScheme(meta.Tags)
 	if err != nil {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, err
 	}
 	g := schema.New()
@@ -181,24 +188,20 @@ func assemble(meta storeMeta, spFile, sdFile *pager.File) (*Store, error) {
 
 	sp, err := relstore.Open(spFile)
 	if err != nil {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: open SP: %w", err)
 	}
 	if sp.Kind() != relstore.ClusterPLabel {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: sp.pg has clustering %v", sp.Kind())
 	}
 	sd, err := relstore.Open(sdFile)
 	if err != nil {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: open SD: %w", err)
 	}
 	if sd.Kind() != relstore.ClusterTag {
-		spFile.Close()
-		sdFile.Close()
+		closeBoth(spFile, sdFile)
 		return nil, fmt.Errorf("core: sd.pg has clustering %v", sd.Kind())
 	}
 	return &Store{

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestHotpathAnnotations pins the //blas:hotpath annotation set to the
+// nil-trace fast paths the zero-alloc guards (TestTraceOffZeroAlloc /
+// BenchmarkTraceOff) actually measure, so the annotations and the
+// benchmarks cannot drift apart silently.
+func TestHotpathAnnotations(t *testing.T) {
+	got, err := analysis.HotpathFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Add", "Begin", "End"}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("Trace.%s lost its //blas:hotpath annotation; the BenchmarkTraceOff zero-alloc guard and hotalloc no longer cover the same code", name)
+		}
+	}
+	if len(got) != len(want) {
+		var names []string
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Errorf("//blas:hotpath set = %v, want exactly %v: annotate new fast paths here and extend the zero-alloc guard", names, want)
+	}
+}

@@ -85,6 +85,8 @@ func NewTrace() *Trace { return &Trace{} }
 
 // Begin starts a span: it returns the current time when tracing is
 // active and the zero time on a nil trace, without reading the clock.
+//
+//blas:hotpath
 func (t *Trace) Begin() time.Time {
 	if t == nil {
 		return time.Time{}
@@ -95,6 +97,8 @@ func (t *Trace) Begin() time.Time {
 // End closes a span opened by Begin, attributing the elapsed time to
 // phase p. A zero begin time (from a nil trace's Begin) is ignored, so
 // Begin/End pairs need no tracing-enabled branch at the call site.
+//
+//blas:hotpath
 func (t *Trace) End(p Phase, begin time.Time) {
 	if t == nil || begin.IsZero() {
 		return
@@ -104,6 +108,8 @@ func (t *Trace) End(p Phase, begin time.Time) {
 
 // Add attributes d to phase p directly (for durations measured by the
 // caller).
+//
+//blas:hotpath
 func (t *Trace) Add(p Phase, d time.Duration) {
 	if t == nil {
 		return

@@ -259,11 +259,11 @@ func OpenConfig(path string, cfg Config) (*File, error) {
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
 	}
 	if info.Size()%PageSize != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("pager: %s: size %d is not a multiple of the page size", path, info.Size())
 	}
 	return newFile(f, uint32(info.Size()/PageSize), cfg), nil
@@ -584,7 +584,7 @@ func (f *File) Flush() error {
 // Close flushes and closes the file.
 func (f *File) Close() error {
 	if err := f.Flush(); err != nil {
-		f.back.Close()
+		_ = f.back.Close()
 		return err
 	}
 	return f.back.Close()

@@ -35,6 +35,8 @@ type BatchIter interface {
 // scans cheaper than record-at-a-time fetches: the pool is consulted
 // once per page run, not once per record. Every decoded record is
 // accounted to ctx.
+//
+//blas:hotpath
 func (r *Relation) fetchBatch(ctx *ExecContext, locs []Locator, dst []Record) error {
 	for i := 0; i < len(locs); {
 		j := i + 1

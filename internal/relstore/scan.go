@@ -29,7 +29,6 @@ type indexIter struct {
 	r    *Relation
 	ctx  *ExecContext
 	it   interface{ Next() bool }
-	key  func() []byte
 	val  func() []byte
 	ierr func() error
 
@@ -56,7 +55,7 @@ func (s *indexIter) Err() error     { return s.err }
 // scanClusterRange returns records whose cluster key lies in [from, to).
 func (r *Relation) scanClusterRange(ctx *ExecContext, from, to []byte) Iter {
 	it := r.cluster.ScanCounted(from, to, ctx.pageCounters())
-	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+	return &indexIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
 }
 
 // ScanAll iterates every record in cluster-key order.
@@ -88,7 +87,7 @@ func (r *Relation) ScanTag(ctx *ExecContext, tagID uint32) Iter {
 func (r *Relation) ScanData(ctx *ExecContext, value string) Iter {
 	prefix := keyenc.String(value)
 	it := r.dataIdx.ScanCounted(prefix, keyenc.PrefixSuccessor(prefix), ctx.pageCounters())
-	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+	return &indexIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
 }
 
 // ScanStartRange iterates records with lo <= start < hi via the start
@@ -100,7 +99,7 @@ func (r *Relation) ScanStartRange(ctx *ExecContext, lo, hi uint32) Iter {
 		to = keyenc.Uint32(hi)
 	}
 	it := r.startIdx.ScanCounted(from, to, ctx.pageCounters())
-	return &indexIter{r: r, ctx: ctx, it: it, key: it.Key, val: it.Value, ierr: it.Err}
+	return &indexIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
 }
 
 // --- start-ordered merge over a plabel range ---

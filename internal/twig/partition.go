@@ -188,6 +188,8 @@ func (st *sweepState) close() {
 }
 
 // sweep runs the stack machine over all streams in start order.
+//
+//blas:hotpath
 func (st *sweepState) sweep() error {
 	nodes := st.eng.nodes
 	for {
@@ -242,6 +244,8 @@ func (st *sweepState) sweep() error {
 // collectSolutions enumerates the root-to-leaf path solutions ending at
 // the element just pushed onto leaf q, applying each edge's level-gap
 // constraint.
+//
+//blas:hotpath
 func (st *sweepState) collectSolutions(q *tnode) {
 	depth := len(q.path)
 	stack := st.stacks[q.id]

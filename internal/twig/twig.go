@@ -339,6 +339,10 @@ type joinKey struct {
 	spill  string
 }
 
+// spillStarts packs the overflow starts into a comparable string
+// (one allocation, only for solutions deeper than joinKeyInline).
+//
+//blas:hotpath
 func spillStarts(starts []uint32) string {
 	b := make([]byte, 0, 4*len(starts))
 	for _, s := range starts {
@@ -348,6 +352,8 @@ func spillStarts(starts []uint32) string {
 }
 
 // solutionKey keys the shared prefix of one path solution.
+//
+//blas:hotpath
 func solutionKey(recs []relstore.Record) joinKey {
 	k := joinKey{n: uint16(len(recs))}
 	if len(recs) > joinKeyInline {
@@ -366,6 +372,8 @@ func solutionKey(recs []relstore.Record) joinKey {
 
 // assignKey keys a partial twig assignment by the bindings of the given
 // path prefix.
+//
+//blas:hotpath
 func assignKey(m map[int]relstore.Record, nodes []*tnode) joinKey {
 	k := joinKey{n: uint16(len(nodes))}
 	if len(nodes) > joinKeyInline {
