@@ -16,6 +16,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/enginetest"
 	"repro/internal/pager"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/translate"
@@ -78,7 +79,7 @@ func runRelational(b *testing.B, st *core.Store, plan *translate.Plan) {
 			b.Fatal(err)
 		}
 		ctx = relstore.NewExecContext()
-		if _, err := relengine.Execute(ctx, st, plan, relengine.Options{}); err != nil {
+		if _, err := relengine.Execute(ctx, st, planner.Fixed(plan), relengine.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +96,7 @@ func runTwig(b *testing.B, st *core.Store, plan *translate.Plan) {
 			b.Fatal(err)
 		}
 		ctx = relstore.NewExecContext()
-		if _, err := twig.Execute(ctx, st, plan, core.ExecConfig{}); err != nil {
+		if _, err := twig.Execute(ctx, st, planner.Fixed(plan), core.ExecConfig{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,11 +234,11 @@ func BenchmarkParallelQuery(b *testing.B) {
 		{"QA2/split", bench.Fig10Queries["QA2"], "split"},
 	} {
 		plan := benchPlan(b, st, q.query, q.translator, true)
-		seq, err := relengine.Execute(nil, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
+		seq, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
 		if err != nil {
 			b.Fatal(err)
 		}
-		par, err := relengine.Execute(nil, st, plan, relengine.Options{})
+		par, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func BenchmarkParallelQuery(b *testing.B) {
 			b.Run(q.name+"/"+mode.name, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := relengine.Execute(nil, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: mode.par}}); err != nil {
+					if _, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{ExecConfig: core.ExecConfig{Parallelism: mode.par}}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -360,7 +361,7 @@ func BenchmarkAblationDJoin(b *testing.B) {
 				if err := st.DropCaches(); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := relengine.Execute(nil, st, plan, mode.opts); err != nil {
+				if _, err := relengine.Execute(nil, st, planner.Fixed(plan), mode.opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -17,6 +17,15 @@
 // and recombined with structural D-joins — either on the built-in
 // relational engine or on a holistic twig join engine (§4, §5).
 //
+// Between translation and execution sits a statistics-free physical
+// planner (internal/planner): it probes the B+-tree indexes for
+// per-fragment run-length estimates in O(log n), orders fragment scans
+// and structural joins most-selective-first, and proves plans empty
+// before any record is fetched (a zero estimate is definitive). Both
+// engines execute the resulting ordered physical plan and terminate
+// early on empty intermediates. QueryOptions.NoReorder restores the
+// translator's fixed order for A/B comparison.
+//
 // # Concurrency
 //
 // A *Store is safe for concurrent use once built or opened: any number
@@ -60,7 +69,7 @@
 //     planning and execution (Elapsed = PlanElapsed + ExecElapsed), the
 //     paper's visited-elements and disk-access counters, and, when
 //     QueryOptions.Trace is set, a PhaseBreakdown of wall time across
-//     the pipeline phases (parse, translate, scan, join/sweep,
+//     the pipeline phases (parse, translate, order, scan, join/sweep,
 //     finalize) plus the parallel twig sweep's partition sizes and
 //     cumulative prefetch-stall time. Tracing is off by default and the
 //     off path costs nothing: no allocations, no clock reads.
@@ -77,10 +86,10 @@
 // # Serving
 //
 // For sustained traffic the library supports a resident serving tier.
-// Store.Prepare parses and translates a query once, returning a
-// PreparedQuery that may be executed any number of times, concurrently,
-// on either engine, with ExecStats.PlanElapsed = 0 — the plan-once,
-// execute-many path. NormalizeQuery maps every spelling of an XPath
+// Store.Prepare parses, translates and physically plans a query once,
+// returning a PreparedQuery (holding the ordered physical plan) that may
+// be executed any number of times, concurrently, on either engine, with
+// ExecStats.PlanElapsed = 0 — the plan-once, execute-many path. NormalizeQuery maps every spelling of an XPath
 // expression onto one canonical form (the natural cache key), and
 // Store.Generation identifies a store's labeling scheme: a plan's
 // P-label ranges are minted by one shredding run, so caches holding
@@ -160,6 +169,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/pager"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/sqlgen"
@@ -352,6 +362,11 @@ type QueryOptions struct {
 	// returned in ExecStats.Phases. Off by default; the untraced path
 	// performs no extra allocations or clock reads.
 	Trace bool
+	// NoReorder skips the physical planner's selectivity probes and
+	// executes the translator's fixed fragment and join order — the A/B
+	// escape hatch for debugging plan-order differences. Off by default
+	// (greedy most-selective-first ordering).
+	NoReorder bool
 }
 
 // Match is one result node. The JSON field names are the wire format
@@ -379,27 +394,33 @@ type ExecStats struct {
 	// Elapsed is the full query latency: always exactly
 	// PlanElapsed + ExecElapsed, each measured once.
 	Elapsed time.Duration `json:"elapsed_ns"`
-	// PlanElapsed is the parse + translate share of Elapsed.
+	// PlanElapsed is the parse + translate + physical planning share of
+	// Elapsed.
 	PlanElapsed time.Duration `json:"plan_elapsed_ns"`
 	// ExecElapsed is the execution share of Elapsed: engine run plus
 	// match finalization.
 	ExecElapsed     time.Duration `json:"exec_elapsed_ns"`
 	VisitedElements uint64        `json:"visited_elements"` // records decoded from the relations
-	PageReads       uint64        `json:"page_reads"`       // buffer pool requests
+	PageReads       uint64        `json:"page_reads"`       // buffer pool requests (incl. planner probes)
 	PageMisses      uint64        `json:"page_misses"`      // buffer pool misses (the paper's disk accesses)
 	Joins           int           `json:"joins"`            // D-joins in the plan
 	Note            string        `json:"note,omitempty"`   // plan degradation note, if any
+	// EarlyTerminated reports that execution was cut short because an
+	// intermediate (or the planner's selectivity probe) proved the result
+	// empty before all scans and joins ran.
+	EarlyTerminated bool `json:"early_terminated,omitempty"`
 	// Phases is the per-phase wall-time breakdown; nil unless
 	// QueryOptions.Trace was set.
 	Phases *PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // PhaseBreakdown splits one traced query's wall time across the
-// pipeline phases, as measured on the coordinating goroutine. Parse and
-// Translate tile PlanElapsed; Scan, Join, Sweep and Finalize tile
-// ExecElapsed (Sweep is twig-only, and on the twig engine Scan covers
-// stream preparation while the actual reading happens inside Sweep).
-// The gap between Elapsed and the sum of those six phases is
+// pipeline phases, as measured on the coordinating goroutine. Parse,
+// Translate and Order tile PlanElapsed (Order is the physical planner:
+// selectivity probes plus the greedy ordering); Scan, Join, Sweep and
+// Finalize tile ExecElapsed (Sweep is twig-only, and on the twig engine
+// Scan covers stream preparation while the actual reading happens
+// inside Sweep). The gap between Elapsed and the sum of those phases is
 // uninstrumented glue and stays small.
 //
 // PrefetchStall is different: it is the cumulative time sweep
@@ -409,6 +430,7 @@ type ExecStats struct {
 type PhaseBreakdown struct {
 	Parse         time.Duration `json:"parse_ns"`
 	Translate     time.Duration `json:"translate_ns"`
+	Order         time.Duration `json:"order_ns"`
 	Scan          time.Duration `json:"scan_ns"`
 	Join          time.Duration `json:"join_ns"`
 	Sweep         time.Duration `json:"sweep_ns"`
@@ -424,6 +446,7 @@ func phaseBreakdown(s obs.TraceSnapshot) *PhaseBreakdown {
 	return &PhaseBreakdown{
 		Parse:         s.Span(obs.PhaseParse),
 		Translate:     s.Span(obs.PhaseTranslate),
+		Order:         s.Span(obs.PhaseOrder),
 		Scan:          s.Span(obs.PhaseScan),
 		Join:          s.Span(obs.PhaseJoin),
 		Sweep:         s.Span(obs.PhaseSweep),
@@ -451,48 +474,56 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 		trace = obs.NewTrace()
 	}
 
+	// The execution context is created before planning so the planner's
+	// selectivity probe page reads land in this query's ExecStats.
+	ctx := relstore.NewExecContext()
+	ctx.SetTrace(trace)
+
 	planBegin := time.Now()
-	plan, err := s.plan(query, opts, trace)
+	phys, err := s.plan(ctx, query, opts, trace)
 	if err != nil {
 		s.metrics.QueryFailed()
 		return nil, err
 	}
-	return s.run(plan, time.Since(planBegin), opts, trace)
+	return s.run(ctx, phys, time.Since(planBegin), opts, trace)
 }
 
-// run executes a translated plan and assembles the Result. The caller
-// has registered the operation (begin) and the query (QueryBegin); run
-// balances QueryBegin with QueryDone or QueryFailed.
-func (s *Store) run(plan *translate.Plan, planElapsed time.Duration, opts QueryOptions, trace *obs.Trace) (*Result, error) {
-	ctx := relstore.NewExecContext()
-	ctx.SetTrace(trace)
+// run executes a physical plan and assembles the Result. The caller has
+// registered the operation (begin) and the query (QueryBegin), and owns
+// ctx — planner probe reads already accounted there stay in the stats.
+// run balances QueryBegin with QueryDone or QueryFailed.
+func (s *Store) run(ctx *relstore.ExecContext, phys *planner.Physical, planElapsed time.Duration, opts QueryOptions, trace *obs.Trace) (*Result, error) {
 	cfg := core.ExecConfig{Parallelism: opts.Parallelism}
+	lp := phys.Logical
 	execBegin := time.Now()
 	var recs []Match
+	var early bool
 	switch engineOf(opts) {
 	case EngineTwig:
-		res, err := twig.Execute(ctx, s.inner, plan, cfg)
+		res, err := twig.Execute(ctx, s.inner, phys, cfg)
 		if err != nil {
 			s.metrics.QueryFailed()
 			return nil, err
 		}
+		early = res.EarlyTerminated
 		recs = s.finalizeMatches(ctx, res.Records)
 	default:
 		jo := relengine.Options{ExecConfig: cfg}
 		if opts.NestedLoopJoin {
 			jo.Join = relengine.NestedLoopJoin
 		}
-		res, err := relengine.Execute(ctx, s.inner, plan, jo)
+		res, err := relengine.Execute(ctx, s.inner, phys, jo)
 		if err != nil {
 			s.metrics.QueryFailed()
 			return nil, err
 		}
+		early = res.EarlyTerminated
 		recs = s.finalizeMatches(ctx, res.Records)
 	}
 	execElapsed := time.Since(execBegin)
 
 	stats := ExecStats{
-		Translator:      Translator(plan.Translator),
+		Translator:      Translator(lp.Translator),
 		Engine:          engineOf(opts),
 		Elapsed:         planElapsed + execElapsed,
 		PlanElapsed:     planElapsed,
@@ -500,11 +531,15 @@ func (s *Store) run(plan *translate.Plan, planElapsed time.Duration, opts QueryO
 		VisitedElements: ctx.Visited(),
 		PageReads:       ctx.PageReads(),
 		PageMisses:      ctx.PageMisses(),
-		Joins:           plan.NumJoins(),
-		Note:            plan.Note,
+		Joins:           lp.NumJoins(),
+		Note:            lp.Note,
+		EarlyTerminated: early,
 	}
 	if trace != nil {
 		stats.Phases = phaseBreakdown(trace.Snapshot())
+	}
+	if early {
+		s.metrics.EarlyTermination()
 	}
 	s.metrics.QueryDone(string(stats.Engine), string(stats.Translator), stats.Elapsed,
 		stats.VisitedElements, stats.PageReads, stats.PageMisses)
@@ -518,22 +553,33 @@ func engineOf(opts QueryOptions) Engine {
 	return opts.Engine
 }
 
-func (s *Store) plan(query string, opts QueryOptions, trace *obs.Trace) (*translate.Plan, error) {
+// plan runs the full planning pipeline: parse, translate (the logical
+// plan), then the physical planner's selectivity-ordered pass. Probe
+// page reads are accounted to ctx.
+func (s *Store) plan(ctx *relstore.ExecContext, query string, opts QueryOptions, trace *obs.Trace) (*planner.Physical, error) {
 	parseBegin := trace.Begin()
 	q, err := xpath.Parse(query)
 	trace.End(obs.PhaseParse, parseBegin)
 	if err != nil {
 		return nil, err
 	}
-	ctx := translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}
+	tctx := translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}
 	name := s.EffectiveTranslator(opts.Translator)
 	translateBegin := trace.Begin()
-	defer trace.End(obs.PhaseTranslate, translateBegin)
 	tr, err := translate.ByName(string(name))
+	if err != nil {
+		trace.End(obs.PhaseTranslate, translateBegin)
+		return nil, err
+	}
+	lp, err := tr(tctx, q)
+	trace.End(obs.PhaseTranslate, translateBegin)
 	if err != nil {
 		return nil, err
 	}
-	return tr(ctx, q)
+	orderBegin := trace.Begin()
+	phys, err := planner.Plan(ctx, s.inner, lp, planner.Options{NoReorder: opts.NoReorder})
+	trace.End(obs.PhaseOrder, orderBegin)
+	return phys, err
 }
 
 // EffectiveTranslator resolves the translator that Query and Prepare
@@ -564,28 +610,34 @@ func NormalizeQuery(query string) (string, error) {
 	return q.String(), nil
 }
 
-// PreparedQuery is a query parsed and translated once, executable many
-// times without paying the planning cost again (the PlanElapsed share of
-// a Query call). A PreparedQuery is immutable and safe for concurrent
-// Query calls from any number of goroutines, on either engine; the
-// underlying plan is never mutated by execution (see package translate).
+// PreparedQuery is a query planned once — parsed, translated and
+// physically ordered — executable many times without paying the
+// planning cost again (the PlanElapsed share of a Query call). A
+// PreparedQuery is immutable and safe for concurrent Query calls from
+// any number of goroutines, on either engine; the underlying physical
+// plan is never mutated by execution (see packages translate and
+// planner).
 //
 // A PreparedQuery is bound to the Store that prepared it: the plan's
-// P-label ranges come from that store's labeling scheme, so it must not
-// be executed against any other store. Cache layers must key prepared
-// queries by Store.Generation — see Generation for the failure mode.
+// P-label ranges and the planner's selectivity estimates both come from
+// that store, so it must not be executed against any other store. Cache
+// layers must key prepared queries by Store.Generation — see Generation
+// for the failure mode.
 type PreparedQuery struct {
 	store *Store
-	plan  *translate.Plan
+	phys  *planner.Physical
 	norm  string
 	gen   uint64
 }
 
-// Prepare parses and translates a query for repeated execution.
-// opts.Translator selects the translation strategy (resolved as in
-// Query); the other option fields are ignored — they are choices made
-// per execution, not per plan. Prepare returns ErrClosed once Close has
-// been called.
+// Prepare parses, translates and physically plans a query for repeated
+// execution. opts.Translator selects the translation strategy (resolved
+// as in Query) and opts.NoReorder fixes the translated order — both are
+// plan-time choices baked into the PreparedQuery. The other option
+// fields are ignored: they are choices made per execution, not per
+// plan. The planner's selectivity probe page reads are paid here, once,
+// and are not attributed to any later execution's ExecStats. Prepare
+// returns ErrClosed once Close has been called.
 func (s *Store) Prepare(query string, opts QueryOptions) (*PreparedQuery, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
@@ -599,11 +651,15 @@ func (s *Store) Prepare(query string, opts QueryOptions) (*PreparedQuery, error)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := tr(translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}, q)
+	lp, err := tr(translate.Context{Scheme: s.inner.Scheme(), Schema: s.inner.Schema()}, q)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{store: s, plan: plan, norm: q.String(), gen: s.gen}, nil
+	phys, err := planner.Plan(relstore.NewExecContext(), s.inner, lp, planner.Options{NoReorder: opts.NoReorder})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{store: s, phys: phys, norm: q.String(), gen: s.gen}, nil
 }
 
 // Normalized returns the canonical rendering of the prepared query (see
@@ -611,14 +667,14 @@ func (s *Store) Prepare(query string, opts QueryOptions) (*PreparedQuery, error)
 func (p *PreparedQuery) Normalized() string { return p.norm }
 
 // Translator returns the effective translator the plan was built with.
-func (p *PreparedQuery) Translator() Translator { return Translator(p.plan.Translator) }
+func (p *PreparedQuery) Translator() Translator { return Translator(p.phys.Logical.Translator) }
 
 // Generation returns the generation of the Store this query was
 // prepared against.
 func (p *PreparedQuery) Generation() uint64 { return p.gen }
 
 // Joins returns the number of D-joins in the prepared plan.
-func (p *PreparedQuery) Joins() int { return p.plan.NumJoins() }
+func (p *PreparedQuery) Joins() int { return p.phys.Logical.NumJoins() }
 
 // Query executes the prepared plan. opts.Engine, opts.Parallelism and
 // opts.Trace apply as in Store.Query; opts.Translator is ignored (the
@@ -640,7 +696,9 @@ func (p *PreparedQuery) Query(opts QueryOptions) (*Result, error) {
 	if opts.Trace {
 		trace = obs.NewTrace()
 	}
-	return s.run(p.plan, 0, opts, trace)
+	ctx := relstore.NewExecContext()
+	ctx.SetTrace(trace)
+	return s.run(ctx, p.phys, 0, opts, trace)
 }
 
 // finalizeMatches renders records into Matches under a PhaseFinalize
@@ -671,7 +729,9 @@ func (s *Store) matches(recs []relstore.Record) []Match {
 // Explanation describes how a query would be executed.
 type Explanation struct {
 	Translator Translator
-	PlanText   string // fragment/join structure
+	PlanText   string // fragment/join structure (the logical plan)
+	OrderText  string // physical order: scans and joins with estimates
+	Reordered  bool   // greedy ordering ran (false under NoReorder)
 	SQL        string // the generated SQL statement
 	Algebra    string // relational algebra (paper Fig. 11 style)
 	Joins      int
@@ -680,27 +740,32 @@ type Explanation struct {
 	Note       string
 }
 
-// Explain translates a query and renders its plan, SQL and algebra
-// without executing it. It returns ErrClosed once Close has been called.
+// Explain translates and physically plans a query, rendering its
+// logical plan, chosen execution order (with the planner's per-fragment
+// run-length estimates), SQL and algebra without executing it. It
+// returns ErrClosed once Close has been called.
 func (s *Store) Explain(query string, opts QueryOptions) (*Explanation, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
 	defer s.end()
-	plan, err := s.plan(query, opts, nil)
+	phys, err := s.plan(relstore.NewExecContext(), query, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	eq, rng := plan.SelectionKinds()
+	lp := phys.Logical
+	eq, rng := lp.SelectionKinds()
 	return &Explanation{
-		Translator: Translator(plan.Translator),
-		PlanText:   plan.String(),
-		SQL:        sqlgen.SQL(plan),
-		Algebra:    sqlgen.Algebra(plan),
-		Joins:      plan.NumJoins(),
+		Translator: Translator(lp.Translator),
+		PlanText:   lp.String(),
+		OrderText:  phys.String(),
+		Reordered:  phys.Reordered,
+		SQL:        sqlgen.SQL(lp),
+		Algebra:    sqlgen.Algebra(lp),
+		Joins:      lp.NumJoins(),
 		EqSels:     eq,
 		RangeSels:  rng,
-		Note:       plan.Note,
+		Note:       lp.Note,
 	}, nil
 }
 
@@ -819,15 +884,18 @@ func poolMetrics(f *pager.File) PoolMetrics {
 // type satisfies expvar.Var; to publish live metrics use
 // expvar.Func(func() any { return store.Metrics() }).
 type StoreMetrics struct {
-	InFlight        int64                       `json:"in_flight"`
-	Queries         uint64                      `json:"queries"`
-	QueryErrors     uint64                      `json:"query_errors"`
-	VisitedElements uint64                      `json:"visited_elements"`
-	PageReads       uint64                      `json:"page_reads"`
-	PageMisses      uint64                      `json:"page_misses"`
-	Latency         LatencyHistogram            `json:"latency"`
-	ByEngine        map[string]LatencyHistogram `json:"queries_by_engine"`
-	ByTranslator    map[string]uint64           `json:"queries_by_translator"`
+	InFlight    int64  `json:"in_flight"`
+	Queries     uint64 `json:"queries"`
+	QueryErrors uint64 `json:"query_errors"`
+	// EarlyTerminations counts queries whose execution was cut short by
+	// an empty intermediate or a planner probe that proved the plan empty.
+	EarlyTerminations uint64                      `json:"early_terminations"`
+	VisitedElements   uint64                      `json:"visited_elements"`
+	PageReads         uint64                      `json:"page_reads"`
+	PageMisses        uint64                      `json:"page_misses"`
+	Latency           LatencyHistogram            `json:"latency"`
+	ByEngine          map[string]LatencyHistogram `json:"queries_by_engine"`
+	ByTranslator      map[string]uint64           `json:"queries_by_translator"`
 	// Pools maps relation name ("sp", "sd") to its buffer pool traffic.
 	Pools map[string]PoolMetrics `json:"pools"`
 }
@@ -846,15 +914,16 @@ func (m StoreMetrics) String() string {
 func (s *Store) Metrics() StoreMetrics {
 	r := s.metrics.Snapshot()
 	m := StoreMetrics{
-		InFlight:        r.InFlight,
-		Queries:         r.Queries,
-		QueryErrors:     r.Errors,
-		VisitedElements: r.Visited,
-		PageReads:       r.PageReads,
-		PageMisses:      r.PageMisses,
-		Latency:         latencyHistogram(r.Latency),
-		ByEngine:        make(map[string]LatencyHistogram, len(r.ByEngine)),
-		ByTranslator:    r.ByTranslator,
+		InFlight:          r.InFlight,
+		Queries:           r.Queries,
+		QueryErrors:       r.Errors,
+		EarlyTerminations: r.EarlyTerms,
+		VisitedElements:   r.Visited,
+		PageReads:         r.PageReads,
+		PageMisses:        r.PageMisses,
+		Latency:           latencyHistogram(r.Latency),
+		ByEngine:          make(map[string]LatencyHistogram, len(r.ByEngine)),
+		ByTranslator:      r.ByTranslator,
 		Pools: map[string]PoolMetrics{
 			"sp": poolMetrics(s.inner.SP().File()),
 			"sd": poolMetrics(s.inner.SD().File()),

@@ -8,6 +8,7 @@
 //	blasbench -fig 16 -factors 1,2,3,4,5
 //	blasbench -all               # everything (as used for EXPERIMENTS.md)
 //	blasbench -fig overlap -engine both   # P=1 vs P=GOMAXPROCS, both engines
+//	blasbench -fig plan                   # fixed vs greedy physical plan order
 //	blasbench -fig serve                  # serving tier: cold vs warm plan cache over HTTP
 //
 // With -json DIR every figure additionally writes its measurements as
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 11, 12, 13, 14, 15, 16, 17, 18, overlap or serve")
+	fig := flag.String("fig", "", "figure to reproduce: 11, 12, 13, 14, 15, 16, 17, 18, overlap, plan or serve")
 	all := flag.Bool("all", false, "run every figure")
 	factor := flag.Int("factor", 1, "data scale factor for figures 13-15 and overlap")
 	factorsStr := flag.String("factors", "1,2,3,4,5", "scale factors for figures 16-18")
@@ -83,6 +84,9 @@ func main() {
 			case "overlap":
 				// Not a paper figure: P=1 vs P=GOMAXPROCS on both engines.
 				return h.Overlap(os.Stdout, *engine, *factor)
+			case "plan":
+				// Not a paper figure: fixed vs greedy physical plan order.
+				return h.PlanFig(os.Stdout)
 			case "serve":
 				// Not a paper figure: blasd serving tier, cold vs warm.
 				return serveFigure(os.Stdout, h, *factor)

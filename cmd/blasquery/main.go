@@ -11,9 +11,15 @@
 // -stats selects how execution statistics print: "text" (one summary
 // line, the default), "json" (the full ExecStats as one JSON object on
 // stdout — including the phase breakdown when -trace is set) or "none".
-// -trace records per-phase wall times (parse, translate, scan,
+// -trace records per-phase wall times (parse, translate, order, scan,
 // join/sweep, finalize, prefetch stalls, sweep partitions) into the
 // stats.
+//
+// -explain also prints the physical order the planner chose: fragment
+// scans and structural joins with their per-fragment run-length
+// estimates probed from the B+-tree indexes. -no-reorder forces the
+// translator's fixed order instead (both for -explain and execution) —
+// the A/B escape hatch for plan-order debugging.
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	stats := flag.String("stats", "text", "execution statistics format: text, json or none")
 	trace := flag.Bool("trace", false, "record a per-phase wall-time breakdown into the stats")
 	parallelism := flag.Int("parallelism", 0, "worker pool per query, both engines: 0 = GOMAXPROCS, 1 = sequential")
+	noReorder := flag.Bool("no-reorder", false, "skip greedy selectivity ordering; run the translator's fixed order")
 	flag.Parse()
 
 	if *query == "" || (*store == "") == (*xmlFile == "") {
@@ -70,6 +77,7 @@ func main() {
 		Engine:      blas.Engine(*engine),
 		Parallelism: *parallelism,
 		Trace:       *trace,
+		NoReorder:   *noReorder,
 	}
 	if *explain {
 		ex, err := st.Explain(*query, opts)
@@ -83,7 +91,9 @@ func main() {
 		}
 		fmt.Println("\n-- plan --")
 		fmt.Println(ex.PlanText)
-		fmt.Println("-- SQL --")
+		fmt.Println("-- order --")
+		fmt.Print(ex.OrderText)
+		fmt.Println("\n-- SQL --")
 		fmt.Println(ex.SQL)
 		fmt.Println("\n-- algebra --")
 		fmt.Println(ex.Algebra)
@@ -120,9 +130,12 @@ func main() {
 		fmt.Printf("\n%d matches in %s (%s/%s): %d elements visited, %d page misses, %d joins\n",
 			n, res.Stats.Elapsed, res.Stats.Translator, res.Stats.Engine,
 			res.Stats.VisitedElements, res.Stats.PageMisses, res.Stats.Joins)
+		if res.Stats.EarlyTerminated {
+			fmt.Println("early terminated: an empty intermediate (or planner probe) proved the result empty")
+		}
 		if p := res.Stats.Phases; p != nil {
-			fmt.Printf("phases: parse %s, translate %s, scan %s, join %s, sweep %s, finalize %s, prefetch stall %s\n",
-				p.Parse, p.Translate, p.Scan, p.Join, p.Sweep, p.Finalize, p.PrefetchStall)
+			fmt.Printf("phases: parse %s, translate %s, order %s, scan %s, join %s, sweep %s, finalize %s, prefetch stall %s\n",
+				p.Parse, p.Translate, p.Order, p.Scan, p.Join, p.Sweep, p.Finalize, p.PrefetchStall)
 			if len(p.Partitions) > 0 {
 				fmt.Printf("sweep partitions (root records): %v\n", p.Partitions)
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/translate"
@@ -63,14 +64,14 @@ func TestPaperQueriesEndToEnd(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s: %v", query, trName, err)
 				}
-				rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
+				rres, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{})
 				if err != nil {
 					t.Fatalf("%s/%s relational: %v", query, trName, err)
 				}
 				if !enginetest.StartsEqual(rres.Starts(), want) {
 					t.Errorf("%s [%s, relational]: %d results, want %d", query, trName, len(rres.Starts()), len(want))
 				}
-				tres, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: 1})
+				tres, err := twig.Execute(nil, st, planner.Fixed(plan), core.ExecConfig{Parallelism: 1})
 				if err != nil {
 					t.Fatalf("%s/%s twig: %v", query, trName, err)
 				}
@@ -80,13 +81,37 @@ func TestPaperQueriesEndToEnd(t *testing.T) {
 				// The partitioned parallel sweep must be byte-identical to
 				// the sequential sweep (and hence to the relational engine
 				// and the reference) on the whole paper corpus.
-				pres, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: 4})
+				pres, err := twig.Execute(nil, st, planner.Fixed(plan), core.ExecConfig{Parallelism: 4})
 				if err != nil {
 					t.Fatalf("%s/%s twig P=4: %v", query, trName, err)
 				}
 				if !enginetest.StartsEqual(pres.Starts(), tres.Starts()) {
 					t.Errorf("%s [%s, twig P=4]: %d results, sequential sweep %d",
 						query, trName, len(pres.Starts()), len(tres.Starts()))
+				}
+				// Greedy selectivity ordering must not change a single
+				// result: re-plan with probes and repeat every mode.
+				phys, err := planner.Plan(relstore.NewExecContext(), st, plan, planner.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s plan: %v", query, trName, err)
+				}
+				for _, par := range []int{1, 4} {
+					gr, err := relengine.Execute(nil, st, phys, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: par}})
+					if err != nil {
+						t.Fatalf("%s/%s relational greedy P=%d: %v", query, trName, par, err)
+					}
+					if !enginetest.StartsEqual(gr.Starts(), want) {
+						t.Errorf("%s [%s, relational greedy P=%d]: %d results, want %d",
+							query, trName, par, len(gr.Starts()), len(want))
+					}
+					gt, err := twig.Execute(nil, st, phys, core.ExecConfig{Parallelism: par})
+					if err != nil {
+						t.Fatalf("%s/%s twig greedy P=%d: %v", query, trName, par, err)
+					}
+					if !enginetest.StartsEqual(gt.Starts(), want) {
+						t.Errorf("%s [%s, twig greedy P=%d]: %d results, want %d",
+							query, trName, par, len(gt.Starts()), len(want))
+					}
 				}
 			}
 		}
@@ -120,7 +145,7 @@ func TestScalingIsLinearInResults(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx := relstore.NewExecContext()
-		res, err := relengine.Execute(ctx, st, plan, relengine.Options{})
+		res, err := relengine.Execute(ctx, st, planner.Fixed(plan), relengine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/translate"
@@ -28,6 +29,10 @@ type Harness struct {
 	// Parallelism is handed to both engines (0 = GOMAXPROCS,
 	// 1 = sequential, the paper's original setting).
 	Parallelism int
+	// NoReorder skips the physical planner's greedy ordering, running the
+	// translator's fixed order — the baseline side of the plan-quality
+	// figure. Default false matches production (greedy).
+	NoReorder bool
 
 	stores       map[string]*core.Store
 	measurements []Measurement
@@ -75,6 +80,7 @@ type Measurement struct {
 	Parallelism int    // effective worker count (GOMAXPROCS resolved)
 	Elapsed     time.Duration
 	Visited     uint64 // elements read (Figs. 14-18 (b) panels)
+	PageReads   uint64 // buffer pool requests (incl. planner probes)
 	PageMisses  uint64 // disk accesses
 	Results     int
 	Joins       int
@@ -134,16 +140,22 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		}
 		ctx := relstore.NewExecContext()
 		begin := time.Now()
+		// Physical planning runs inside the cold-cache window so the
+		// planner's probe page reads are part of the measured cost.
+		phys, err := planner.Plan(ctx, st, plan, planner.Options{NoReorder: h.NoReorder})
+		if err != nil {
+			return Measurement{}, fmt.Errorf("bench: plan %s/%s: %w", queryName, translator, err)
+		}
 		var results int
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(ctx, st, plan, cfg)
+			res, err := twig.Execute(ctx, st, phys, cfg)
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s twig: %w", queryName, translator, err)
 			}
 			results = len(res.Records)
 		default:
-			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: cfg})
+			res, err := relengine.Execute(ctx, st, phys, relengine.Options{ExecConfig: cfg})
 			if err != nil {
 				return Measurement{}, fmt.Errorf("bench: %s/%s relational: %w", queryName, translator, err)
 			}
@@ -151,6 +163,7 @@ func (h *Harness) Run(dataset string, factor int, queryName, query, translator, 
 		}
 		times = append(times, time.Since(begin))
 		m.Visited = ctx.Visited()
+		m.PageReads = ctx.PageReads()
 		m.PageMisses = ctx.PageMisses()
 		m.Results = results
 	}

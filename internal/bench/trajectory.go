@@ -25,6 +25,7 @@ type TrajectoryRecord struct {
 	Parallelism int    `json:"parallelism"`
 	NSPerOp     int64  `json:"ns_per_op"`
 	Visited     uint64 `json:"visited_elements"`
+	PageReads   uint64 `json:"page_reads"`
 	PageMisses  uint64 `json:"page_misses"`
 	Results     int    `json:"results"`
 	Joins       int    `json:"joins"`
@@ -82,6 +83,7 @@ func (t *Trajectory) Add(m Measurement) {
 		Parallelism: m.Parallelism,
 		NSPerOp:     m.Elapsed.Nanoseconds(),
 		Visited:     m.Visited,
+		PageReads:   m.PageReads,
 		PageMisses:  m.PageMisses,
 		Results:     m.Results,
 		Joins:       m.Joins,

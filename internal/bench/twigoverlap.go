@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/translate"
@@ -24,7 +25,7 @@ func TwigOverlap(st *core.Store, plan *translate.Plan, parallelism int) ([]uint3
 	if err := st.DropCaches(); err != nil {
 		return nil, err
 	}
-	res, err := twig.Execute(nil, st, plan, core.ExecConfig{Parallelism: parallelism})
+	res, err := twig.Execute(nil, st, planner.Fixed(plan), core.ExecConfig{Parallelism: parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +114,9 @@ func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, queryName
 	}
 	var starts []uint32
 	times := make([]time.Duration, 0, repeats)
+	// Fixed order on purpose: this figure isolates parallelism, so the
+	// scan/join order must not vary with the planner's estimates.
+	phys := planner.Fixed(plan)
 	for i := 0; i < repeats; i++ {
 		if err := st.DropCaches(); err != nil {
 			return Measurement{}, nil, err
@@ -121,13 +125,13 @@ func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, queryName
 		begin := time.Now()
 		switch engine {
 		case "twig":
-			res, err := twig.Execute(ctx, st, plan, core.ExecConfig{Parallelism: parallelism})
+			res, err := twig.Execute(ctx, st, phys, core.ExecConfig{Parallelism: parallelism})
 			if err != nil {
 				return Measurement{}, nil, err
 			}
 			starts = res.Starts()
 		default:
-			res, err := relengine.Execute(ctx, st, plan, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: parallelism}})
+			res, err := relengine.Execute(ctx, st, phys, relengine.Options{ExecConfig: core.ExecConfig{Parallelism: parallelism}})
 			if err != nil {
 				return Measurement{}, nil, err
 			}
@@ -135,6 +139,7 @@ func (h *Harness) overlapMeasure(st *core.Store, plan *translate.Plan, queryName
 		}
 		times = append(times, time.Since(begin))
 		m.Visited = ctx.Visited()
+		m.PageReads = ctx.PageReads()
 		m.PageMisses = ctx.PageMisses()
 		m.Results = len(starts)
 	}

@@ -77,6 +77,14 @@ func (s *Store) PrepareFragmentStream(ctx *relstore.ExecContext, f *translate.Fr
 	return fs, nil
 }
 
+// KnownEmpty reports that the prepared stream can produce no records
+// under any start restriction: a range selection whose skip scan
+// resolved zero P-label runs. Engines use it to terminate early without
+// opening (and sweeping) the plan's other streams.
+func (fs *FragmentStream) KnownEmpty() bool {
+	return fs.frag.Access.Kind == translate.AccessPLabelRange && len(fs.plabels) == 0
+}
+
 // Open returns the fragment's records whose start position lies in
 // [lo, hi) — hi == 0 means unbounded — as a batched stream in document
 // (start) order. Fragment-local predicates (value, level, attribute

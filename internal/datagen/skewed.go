@@ -1,0 +1,60 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// NameSkewed is the planner-stress corpus: not one of the paper's three
+// data sets (Names leaves it out so the Fig. 12 experiments are
+// untouched), but generable through ByName for the plan-quality
+// benchmarks and tests.
+const NameSkewed = "skewed"
+
+// ColdVal is the value every cold item carries; queries selecting any
+// other value come back empty after scanning only the tiny val run.
+const ColdVal = "frozen"
+
+// DecoyVal is a value present in the document but never under an item,
+// so a data-index probe for it is non-zero (no emptiness proof) while
+// the item-side scan still filters to nothing.
+const DecoyVal = "melted"
+
+// Skewed generates a corpus with deliberately lopsided P-label run
+// lengths: one path with a huge run (hot/item and its id children, 4000
+// per factor each) next to runs of single-digit length (the cold items'
+// val children, the tail sections). Translation order puts the huge
+// fragment first in the queries the plan-quality figure runs, so a
+// fixed-order execution pays the big scan before discovering the tiny
+// fragment was empty — exactly the gap greedy most-selective-first
+// ordering closes. The decoy value keeps the planner from proving those
+// plans empty outright; see the provably-empty case in the tests for
+// the path that short-circuits with zero scans.
+func Skewed(o Options) *xmltree.Node {
+	root := xmltree.New("catalog")
+	hot := root.AppendNew("hot")
+	n := 4000 * o.factor()
+	for i := 0; i < n; i++ {
+		item := hot.AppendNew("item")
+		item.AppendText("id", fmt.Sprintf("hot-%d", i))
+	}
+	cold := root.AppendNew("cold")
+	for i := 0; i < 3; i++ {
+		item := cold.AppendNew("item")
+		item.AppendText("id", fmt.Sprintf("cold-%d", i))
+		item.AppendText("val", ColdVal)
+	}
+	decoy := root.AppendNew("decoy")
+	decoy.AppendText("note", DecoyVal)
+	// A long tail of tiny distinct runs, so the estimate ordering has
+	// more than two classes to rank.
+	tail := root.AppendNew("tail")
+	for i := 0; i < 16; i++ {
+		sec := tail.AppendNew(fmt.Sprintf("t%d", i))
+		for j := 0; j <= i%3; j++ {
+			sec.AppendText("leaf", fmt.Sprintf("leaf-%d-%d", i, j))
+		}
+	}
+	return root
+}

@@ -15,6 +15,8 @@ func TestTraceOffZeroAlloc(t *testing.T) {
 	if a := testing.AllocsPerRun(200, func() {
 		b := tr.Begin()
 		tr.End(PhaseScan, b)
+		b = tr.Begin()
+		tr.End(PhaseOrder, b) // planner path: same guarantee as the engine phases
 		tr.Add(PhasePrefetchStall, time.Millisecond)
 		tr.AddPartition(42)
 	}); a != 0 {
@@ -162,6 +164,7 @@ func TestRegistryCounts(t *testing.T) {
 	}
 	r.QueryDone("relational", "pushup", time.Millisecond, 100, 20, 5)
 	r.QueryDone("twig", "pushup", 2*time.Millisecond, 50, 10, 2)
+	r.EarlyTermination()
 	r.QueryBegin()
 	r.QueryFailed()
 
@@ -177,6 +180,9 @@ func TestRegistryCounts(t *testing.T) {
 	}
 	if s.Visited != 150 || s.PageReads != 30 || s.PageMisses != 7 {
 		t.Errorf("cumulative stats = %d/%d/%d, want 150/30/7", s.Visited, s.PageReads, s.PageMisses)
+	}
+	if s.EarlyTerms != 1 {
+		t.Errorf("early terminations = %d, want 1", s.EarlyTerms)
 	}
 	if s.ByEngine["relational"].Count != 1 || s.ByEngine["twig"].Count != 1 {
 		t.Errorf("per-engine counts = %v", s.ByEngine)

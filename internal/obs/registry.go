@@ -22,6 +22,7 @@ type Registry struct {
 	visited    atomic.Uint64
 	pageReads  atomic.Uint64
 	pageMisses atomic.Uint64
+	earlyTerms atomic.Uint64
 	latency    Histogram
 
 	mu           sync.RWMutex
@@ -59,6 +60,11 @@ func (r *Registry) QueryDone(engine, translator string, d time.Duration, visited
 	r.pageMisses.Add(pageMisses)
 	r.inFlight.Add(-1)
 }
+
+// EarlyTermination records a query whose execution was cut short by the
+// physical planner or an engine: a provably- or actually-empty
+// intermediate let remaining scans and joins be skipped.
+func (r *Registry) EarlyTermination() { r.earlyTerms.Add(1) }
 
 func (r *Registry) engineHist(engine string) *Histogram {
 	r.mu.RLock()
@@ -103,6 +109,7 @@ type RegistrySnapshot struct {
 	Visited      uint64                       `json:"visited_elements"`
 	PageReads    uint64                       `json:"page_reads"`
 	PageMisses   uint64                       `json:"page_misses"`
+	EarlyTerms   uint64                       `json:"early_terminations"`
 	Latency      HistogramSnapshot            `json:"latency"`
 	ByEngine     map[string]HistogramSnapshot `json:"queries_by_engine"`
 	ByTranslator map[string]uint64            `json:"queries_by_translator"`
@@ -116,6 +123,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		Visited:      r.visited.Load(),
 		PageReads:    r.pageReads.Load(),
 		PageMisses:   r.pageMisses.Load(),
+		EarlyTerms:   r.earlyTerms.Load(),
 		Latency:      r.latency.Snapshot(),
 		ByEngine:     map[string]HistogramSnapshot{},
 		ByTranslator: map[string]uint64{},

@@ -35,6 +35,10 @@ const (
 	PhaseParse Phase = iota
 	// PhaseTranslate is plan translation (Split/Push-up/Unfold/D-label).
 	PhaseTranslate
+	// PhaseOrder is physical planning: the planner's selectivity probes
+	// (O(log n) run-length estimates against the B+-trees) and the greedy
+	// ordering of fragment scans and structural joins.
+	PhaseOrder
 	// PhaseScan covers fragment selections: the relational engine's
 	// fragment scans, and the twig engine's stream preparation (P-label
 	// run resolution via index skip scans).
@@ -58,7 +62,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"parse", "translate", "scan", "join", "sweep", "finalize", "prefetch_stall",
+	"parse", "translate", "order", "scan", "join", "sweep", "finalize", "prefetch_stall",
 }
 
 // String returns the phase's snake_case name (used as JSON keys).

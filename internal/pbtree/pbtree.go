@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/pager"
 )
@@ -340,6 +341,108 @@ func (r *Reader) leafFor(key []byte, c *pager.Counters) (*page, error) {
 		}
 	}
 	return p, nil
+}
+
+// loc is a resolved key position used by EstimateRange: the leaf holding
+// the key's lower bound (the first entry >= key), the bound's index in
+// that leaf, and a fractional rank in [0, 1] interpolated from the slot
+// positions along the descent path.
+type loc struct {
+	leaf pager.PageID // noPage once the position is past the last entry
+	idx  int
+	frac float64
+}
+
+// locate descends to key's lower-bound position in O(height) page reads.
+// A nil key locates the first entry. When the lower bound falls past the
+// end of its leaf, the position is normalized to the head of the next
+// leaf (whose first key is provably > key, because descent always picks
+// the last subtree whose separator is <= key), so two positions on the
+// same leaf always yield an exact entry count.
+func (r *Reader) locate(key []byte, c *pager.Counters) (loc, error) {
+	id := r.tree.Root
+	p, err := r.loadPage(id, c)
+	if err != nil {
+		return loc{}, err
+	}
+	var frac float64
+	span := 1.0
+	for p.typ == pageTypeInner {
+		i := 0
+		if key != nil {
+			if i = p.search(key); i > 0 {
+				i--
+			}
+		}
+		frac += span * float64(i) / float64(p.n)
+		span /= float64(p.n)
+		id = p.child(i)
+		if p, err = r.loadPage(id, c); err != nil {
+			return loc{}, err
+		}
+	}
+	lb := 0
+	if key != nil {
+		lb = p.search(key)
+		if lb > 0 && bytes.Equal(p.key(lb-1), key) {
+			lb-- // lower bound includes the exact match
+		}
+	}
+	if p.n > 0 {
+		frac += span * float64(lb) / float64(p.n)
+	}
+	if lb >= p.n {
+		// Past this leaf's entries: the lower bound is the next leaf's
+		// first entry (its id is free — no extra page read).
+		return loc{leaf: p.next, idx: 0, frac: frac}, nil
+	}
+	return loc{leaf: id, idx: lb, frac: frac}, nil
+}
+
+// EstimateRange estimates the number of entries with from <= key < to
+// (nil to = unbounded above, nil from = unbounded below) in O(height)
+// page reads per bound — the statistics-free selectivity probe behind
+// the greedy physical planner.
+//
+// The result is exact whenever both bounds resolve to the same leaf
+// page; otherwise it interpolates between the bounds' fractional ranks
+// and clamps to [1, Count]. Zero is therefore definitive: a zero return
+// proves the range is empty. Pages touched by the two descents are
+// recorded in c like any other index traversal.
+func (r *Reader) EstimateRange(from, to []byte, c *pager.Counters) (uint64, error) {
+	if r.tree.Count == 0 {
+		return 0, nil
+	}
+	if from != nil && to != nil && bytes.Compare(from, to) >= 0 {
+		return 0, nil
+	}
+	lo, err := r.locate(from, c)
+	if err != nil {
+		return 0, err
+	}
+	if lo.leaf == noPage {
+		return 0, nil // no entry at or above from
+	}
+	hi := loc{leaf: noPage, idx: 0, frac: 1}
+	if to != nil {
+		if hi, err = r.locate(to, c); err != nil {
+			return 0, err
+		}
+	}
+	if hi.leaf == lo.leaf {
+		return uint64(hi.idx - lo.idx), nil
+	}
+	// Bounds on different leaves: at least one entry is in range (the
+	// entry at lo itself), so the clamped interpolation never reports a
+	// false empty.
+	est := int64(math.Round((hi.frac - lo.frac) * float64(r.tree.Count)))
+	if est < 1 {
+		est = 1
+	}
+	if uint64(est) > r.tree.Count {
+		return r.tree.Count, nil
+	}
+	return uint64(est), nil
 }
 
 // Iter iterates entries in key order.

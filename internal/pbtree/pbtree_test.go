@@ -332,6 +332,86 @@ func TestIndexPageAccessesCounted(t *testing.T) {
 	}
 }
 
+// TestEstimateRangeExactAndZero checks the probe's contract: the
+// estimate is zero exactly when the range is empty (an empty range's two
+// lower bounds normalize to the same position, so the same-leaf exact
+// path always catches it), and same-leaf ranges are exact.
+func TestEstimateRangeExactAndZero(t *testing.T) {
+	f := pager.OpenMem(256)
+	defer f.Close()
+	const n = 8000
+	tree := buildTree(t, f, n)
+	r := NewReader(f, tree)
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		lo, hi := rnd.Intn(n+50), rnd.Intn(n+50)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := hi - lo
+		if lo >= n {
+			want = 0
+		} else if hi > n {
+			want = n - lo
+		}
+		got, err := r.EstimateRange(key(lo), key(hi), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == 0) != (want == 0) {
+			t.Fatalf("[%d,%d): estimate %d, true %d — zero must mean provably empty and vice versa", lo, hi, got, want)
+		}
+		if want > 0 {
+			// Interpolation error on uniform fixed-size keys stays small;
+			// the bound here is loose on purpose (it guards order-of-
+			// magnitude sanity, not the exact interpolation).
+			if got > uint64(want)*3+64 || uint64(want) > got*3+64 {
+				t.Fatalf("[%d,%d): estimate %d too far from true %d", lo, hi, got, want)
+			}
+		}
+	}
+	// Same-leaf ranges are exact: keys 10..14 sit on the first leaf.
+	if got, _ := r.EstimateRange(key(10), key(14), nil); got != 4 {
+		t.Fatalf("same-leaf estimate = %d, want exact 4", got)
+	}
+	// Unbounded and out-of-range bounds.
+	if got, _ := r.EstimateRange(nil, nil, nil); got != n {
+		t.Fatalf("full-range estimate = %d, want %d", got, n)
+	}
+	if got, _ := r.EstimateRange(key(n+1), nil, nil); got != 0 {
+		t.Fatalf("past-end estimate = %d, want 0", got)
+	}
+	if got, _ := r.EstimateRange(key(5), key(5), nil); got != 0 {
+		t.Fatalf("empty-interval estimate = %d, want 0", got)
+	}
+}
+
+func TestEstimateRangeEmptyTree(t *testing.T) {
+	f := pager.OpenMem(16)
+	defer f.Close()
+	r := NewReader(f, buildTree(t, f, 0))
+	if got, err := r.EstimateRange(nil, nil, nil); err != nil || got != 0 {
+		t.Fatalf("empty tree estimate = %d, err %v", got, err)
+	}
+}
+
+// TestEstimateRangeCost pins the O(log n) claim: a probe is two index
+// descents, so it touches at most 2×height pages (and they are counted).
+func TestEstimateRangeCost(t *testing.T) {
+	f := pager.OpenMem(256)
+	defer f.Close()
+	tree := buildTree(t, f, 30000)
+	r := NewReader(f, tree)
+	_ = f.DropCache()
+	var c pager.Counters
+	if _, err := r.EstimateRange(key(1234), key(23456), &c); err != nil {
+		t.Fatal(err)
+	}
+	if max := 2 * uint64(tree.Height); c.Reads.Load() == 0 || c.Reads.Load() > max {
+		t.Fatalf("probe read %d pages, want 1..%d (2×height)", c.Reads.Load(), max)
+	}
+}
+
 func BenchmarkBulkLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := pager.OpenMem(1024)

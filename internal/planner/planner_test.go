@@ -1,0 +1,212 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relstore"
+	"repro/internal/translate"
+	"repro/internal/xpath"
+)
+
+func skewedStore(t *testing.T) *core.Store {
+	t.Helper()
+	tree, err := datagen.ByName(datagen.NameSkewed, datagen.Options{Seed: 1, Factor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.BuildFromTree(tree, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func mustTranslate(t *testing.T, st *core.Store, translator, query string) *translate.Plan {
+	t.Helper()
+	tr, err := translate.ByName(translator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := tr(translate.Context{Scheme: st.Scheme(), Schema: st.Schema()}, xpath.MustParse(query))
+	if err != nil {
+		t.Fatalf("translate %s: %v", query, err)
+	}
+	return lp
+}
+
+func TestFixedIsIdentityOrder(t *testing.T) {
+	st := skewedStore(t)
+	lp := mustTranslate(t, st, "pushup", `//item[id][val="frozen"]`)
+	p := Fixed(lp)
+	if p.Reordered || p.KnownEmpty || p.ProbedEmpty() || p.Est != nil {
+		t.Fatalf("Fixed plan has planner state: %+v", p)
+	}
+	if len(p.Scans) != len(lp.Fragments) {
+		t.Fatalf("Scans = %v", p.Scans)
+	}
+	for i, id := range p.Scans {
+		if id != i {
+			t.Fatalf("Scans = %v, want identity", p.Scans)
+		}
+	}
+	for i := range p.Joins {
+		if p.Joins[i] != lp.Joins[i] {
+			t.Fatalf("Joins reordered: %v vs %v", p.Joins, lp.Joins)
+		}
+	}
+}
+
+// TestGreedyOrdersMostSelectiveFirst is the skewed corpus's core claim:
+// the tiny val fragment (3 cold records) is scanned and joined before
+// the ~4000-record item and id fragments the translator lists first.
+func TestGreedyOrdersMostSelectiveFirst(t *testing.T) {
+	st := skewedStore(t)
+	lp := mustTranslate(t, st, "pushup", `//item[id][val="`+datagen.DecoyVal+`"]`)
+	if len(lp.Fragments) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(lp.Fragments))
+	}
+	ctx := relstore.NewExecContext()
+	p, err := Plan(ctx, st, lp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Reordered || p.KnownEmpty {
+		t.Fatalf("Reordered=%v KnownEmpty=%v", p.Reordered, p.KnownEmpty)
+	}
+	if ctx.PageReads() == 0 {
+		t.Error("probe page reads were not attributed to ctx")
+	}
+	if p.Scans[0] != 2 {
+		t.Errorf("Scans = %v (est %v), want the val fragment F2 first", p.Scans, p.Est)
+	}
+	if p.Joins[0].Desc != 2 {
+		t.Errorf("Joins = %+v, want the F2 join first", p.Joins)
+	}
+	if p.Est[2] >= p.Est[1] || p.Est[2] >= p.Est[0] {
+		t.Errorf("Est = %v, want F2 smallest", p.Est)
+	}
+	// Accuracy: the id run holds ~4000 records, the val run 3 cold
+	// records (capped further by the decoy value's data run of 1).
+	if p.Est[1] < 2000 || p.Est[1] > 8000 {
+		t.Errorf("Est[1] = %d, want ~4000", p.Est[1])
+	}
+	if p.Est[2] < 1 || p.Est[2] > 8 {
+		t.Errorf("Est[2] = %d, want tiny", p.Est[2])
+	}
+	// The join order must stay a bound tree: every join's ancestor is
+	// the root or a prior join's endpoint.
+	bound := map[int]bool{p.Joins[0].Anc: true}
+	for _, j := range p.Joins {
+		if !bound[j.Anc] {
+			t.Fatalf("join order not bound: %+v", p.Joins)
+		}
+		bound[j.Desc] = true
+	}
+}
+
+func TestNoReorderKeepsTranslationOrder(t *testing.T) {
+	st := skewedStore(t)
+	lp := mustTranslate(t, st, "pushup", `//item[id][val="`+datagen.DecoyVal+`"]`)
+	ctx := relstore.NewExecContext()
+	p, err := Plan(ctx, st, lp, Options{NoReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reordered || p.Est != nil {
+		t.Fatalf("NoReorder plan probed the store: %+v", p)
+	}
+	if ctx.PageReads() != 0 {
+		t.Errorf("NoReorder read %d pages, want 0", ctx.PageReads())
+	}
+	for i, id := range p.Scans {
+		if id != i {
+			t.Fatalf("Scans = %v, want identity", p.Scans)
+		}
+	}
+}
+
+// TestProbeProvenEmpty: no hot item has a val child, so the suffix path
+// hot/item/val resolves an empty P-label run and the probe proves the
+// whole plan empty before any record is fetched.
+func TestProbeProvenEmpty(t *testing.T) {
+	st := skewedStore(t)
+	lp := mustTranslate(t, st, "pushup", `//hot/item[val]`)
+	if lp.Empty() {
+		t.Fatal("plan is statically empty; the probe proof is untested")
+	}
+	p, err := Plan(relstore.NewExecContext(), st, lp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.KnownEmpty || !p.ProbedEmpty() {
+		t.Fatalf("KnownEmpty=%v ProbedEmpty=%v, want probe-proven empty", p.KnownEmpty, p.ProbedEmpty())
+	}
+	if p.EmptyFragment != 1 {
+		t.Errorf("EmptyFragment = %d, want 1 (the val fragment)", p.EmptyFragment)
+	}
+	if p.Est[1] != 0 {
+		t.Errorf("Est[1] = %d, want 0", p.Est[1])
+	}
+}
+
+// TestNonTreeJoinsFallBack: join sets both engines reject (a fragment
+// with two parents, multiple roots) must come back in translated order
+// so the planner never changes error behavior.
+func TestNonTreeJoinsFallBack(t *testing.T) {
+	st := skewedStore(t)
+	all := func(id int) *translate.Fragment {
+		return &translate.Fragment{ID: id, Access: translate.Access{Kind: translate.AccessAll}}
+	}
+	cases := map[string][]translate.Join{
+		"two parents":    {{Anc: 0, Desc: 1}, {Anc: 0, Desc: 2}, {Anc: 1, Desc: 2}},
+		"multiple roots": {{Anc: 0, Desc: 1}, {Anc: 2, Desc: 3}},
+	}
+	for name, joins := range cases {
+		n := 0
+		for _, j := range joins {
+			if j.Anc > n {
+				n = j.Anc
+			}
+			if j.Desc > n {
+				n = j.Desc
+			}
+		}
+		frags := make([]*translate.Fragment, n+1)
+		for i := range frags {
+			frags[i] = all(i)
+		}
+		lp := &translate.Plan{Translator: "test", Fragments: frags, Joins: joins}
+		p, err := Plan(relstore.NewExecContext(), st, lp, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range joins {
+			if p.Joins[i] != joins[i] {
+				t.Errorf("%s: join order changed: %+v", name, p.Joins)
+				break
+			}
+		}
+	}
+}
+
+func TestStringRendersOrder(t *testing.T) {
+	st := skewedStore(t)
+	lp := mustTranslate(t, st, "pushup", `//item[id][val="`+datagen.DecoyVal+`"]`)
+	p, err := Plan(relstore.NewExecContext(), st, lp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"order[greedy]", "scan F2 (est ", "join F0 contains F2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if f := Fixed(lp).String(); !strings.Contains(f, "order[fixed]") {
+		t.Errorf("Fixed String() = %q", f)
+	}
+}

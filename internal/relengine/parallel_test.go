@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
@@ -35,12 +36,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s: %v", query, trName, err)
 				}
-				seq, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
+				seq, err := Execute(nil, st, planner.Fixed(plan), Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
 				if err != nil {
 					t.Fatalf("%s/%s sequential: %v", query, trName, err)
 				}
 				for _, par := range []int{2, 8} {
-					got, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: par}})
+					got, err := Execute(nil, st, planner.Fixed(plan), Options{ExecConfig: core.ExecConfig{Parallelism: par}})
 					if err != nil {
 						t.Fatalf("%s/%s par=%d: %v", query, trName, par, err)
 					}
@@ -88,11 +89,11 @@ func TestPartitionedMergeJoinLargeInput(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
+			seq, err := Execute(nil, st, planner.Fixed(plan), Options{ExecConfig: core.ExecConfig{Parallelism: 1}})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := Execute(nil, st, plan, Options{ExecConfig: core.ExecConfig{Parallelism: 4}})
+			par, err := Execute(nil, st, planner.Fixed(plan), Options{ExecConfig: core.ExecConfig{Parallelism: 4}})
 			if err != nil {
 				t.Fatal(err)
 			}

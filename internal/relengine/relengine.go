@@ -1,10 +1,18 @@
-// Package relengine executes translated plans the way the paper's
+// Package relengine executes physical plans the way the paper's
 // relational engine does (§5.2): each fragment is one indexed selection
 // over the SP or SD relation, and fragments are combined with structural
 // D-joins. The join operator is a stack-based structural merge join
 // (Al-Khalifa et al., "stack-tree" family) that runs in
 // O(inputs + output); a nested-loop D-join is provided for the ablation
 // benchmark.
+//
+// The engine takes a planner.Physical and honors its order: fragment
+// selections run in Physical.Scans order (most selective first under the
+// greedy planner) and joins in Physical.Joins order, which the planner
+// guarantees is a bound tree. Emptiness terminates execution early — a
+// plan the planner proved empty runs zero scans, and an empty scan or
+// join intermediate skips everything after it (Result.EarlyTerminated
+// reports when that saved work).
 //
 // Execution is data-parallel where the plan is embarrassingly parallel
 // (cf. Sato et al., "Parallelization of XPath Queries using Modern
@@ -35,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 )
@@ -63,6 +72,10 @@ type Result struct {
 	// Records are the return-node bindings, deduplicated, in document
 	// order.
 	Records []relstore.Record
+	// EarlyTerminated reports that an empty intermediate (a planner
+	// proof, an empty fragment scan, or an empty join result) let the
+	// engine skip remaining scan or join work.
+	EarlyTerminated bool
 }
 
 // Starts returns the start positions of the result records.
@@ -74,29 +87,36 @@ func (r *Result) Starts() []uint32 {
 	return out
 }
 
-// Execute runs a plan against a store. Statistics accumulate in ctx
-// (nil discards them). Execute is safe to call concurrently with any
-// other reads of the same store, provided each call gets its own ctx.
-func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts Options) (*Result, error) {
+// Execute runs a physical plan against a store. Statistics accumulate
+// in ctx (nil discards them). Execute is safe to call concurrently with
+// any other reads of the same store, provided each call gets its own
+// ctx.
+func Execute(ctx *relstore.ExecContext, st *core.Store, p *planner.Physical, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("relengine: %w", err)
 	}
-	if p.Empty() {
-		return &Result{}, nil
+	lp := p.Logical
+	if p.KnownEmpty || lp.Empty() {
+		// A probe-proven empty plan skips every scan and join — zero
+		// page reads past planning. A statically empty plan never had
+		// work to skip.
+		return &Result{EarlyTerminated: p.ProbedEmpty()}, nil
 	}
 	workers := opts.Workers()
 	tr := ctx.Trace()
 
-	// Evaluate every fragment.
+	// Evaluate every fragment, most selective first.
 	scanBegin := tr.Begin()
-	bindings, err := scanFragments(ctx, st, p.Fragments, workers)
+	bindings, err := scanFragments(ctx, st, lp.Fragments, p.Scans, workers)
 	tr.End(obs.PhaseScan, scanBegin)
 	if err != nil {
 		return nil, err
 	}
 	for _, b := range bindings {
 		if len(b) == 0 {
-			return &Result{}, nil
+			// An empty fragment empties the plan (all joins are inner);
+			// remaining scans were skipped and all join work is too.
+			return &Result{EarlyTerminated: len(p.Joins) > 0 || len(lp.Fragments) > 1}, nil
 		}
 	}
 
@@ -104,7 +124,7 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 	defer tr.End(obs.PhaseJoin, joinBegin)
 
 	if len(p.Joins) == 0 {
-		return &Result{Records: finalize(bindings[p.Return])}, nil
+		return &Result{Records: finalize(bindings[lp.Return])}, nil
 	}
 
 	// Tuples over the fragments joined so far. cols maps fragment id to
@@ -117,7 +137,7 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 		tuples[i] = []relstore.Record{r}
 	}
 
-	for _, j := range p.Joins {
+	for ji, j := range p.Joins {
 		ancCol, ok := cols[j.Anc]
 		if !ok {
 			return nil, fmt.Errorf("relengine: join order is not a tree (fragment %d not yet bound)", j.Anc)
@@ -130,13 +150,13 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 		}
 		cols[j.Desc] = len(cols)
 		if len(tuples) == 0 {
-			return &Result{}, nil
+			return &Result{EarlyTerminated: ji < len(p.Joins)-1}, nil
 		}
 	}
 
-	retCol, ok := cols[p.Return]
+	retCol, ok := cols[lp.Return]
 	if !ok {
-		return nil, fmt.Errorf("relengine: return fragment %d not joined", p.Return)
+		return nil, fmt.Errorf("relengine: return fragment %d not joined", lp.Return)
 	}
 	out := make([]relstore.Record, len(tuples))
 	for i, t := range tuples {
@@ -145,14 +165,18 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, opts 
 	return &Result{Records: finalize(out)}, nil
 }
 
-// scanFragments evaluates all fragment selections, concurrently when the
-// worker budget allows. Fragments are independent selections, so this is
-// the embarrassingly-parallel part of every plan.
-func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate.Fragment, workers int) ([][]relstore.Record, error) {
+// scanFragments evaluates all fragment selections in the given order,
+// concurrently when the worker budget allows. Fragments are independent
+// selections, so this is the embarrassingly-parallel part of every plan
+// — but order still matters: the sequential path stops at the first
+// empty fragment, so scanning the most selective fragment first (the
+// greedy planner's order) skips the expensive scans exactly when a cheap
+// one proves the plan empty.
+func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate.Fragment, order []int, workers int) ([][]relstore.Record, error) {
 	bindings := make([][]relstore.Record, len(frags))
 	if workers <= 1 || len(frags) == 1 {
-		for i, f := range frags {
-			recs, err := scanFragment(ctx, st, f)
+		for _, i := range order {
+			recs, err := scanFragment(ctx, st, frags[i])
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +194,7 @@ func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate
 	var mu sync.Mutex
 	var firstErr error
 	var anyEmpty atomic.Bool
-	for i, f := range frags {
+	for _, i := range order {
 		wg.Add(1)
 		go func(i int, f *translate.Fragment) {
 			defer wg.Done()
@@ -195,7 +219,7 @@ func scanFragments(ctx *relstore.ExecContext, st *core.Store, frags []*translate
 				anyEmpty.Store(true)
 			}
 			bindings[i] = recs
-		}(i, f)
+		}(i, frags[i])
 	}
 	wg.Wait()
 	if firstErr != nil {

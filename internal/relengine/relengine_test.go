@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
@@ -68,7 +69,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 		if err != nil {
 			t.Fatalf("%s: translate %s: %v", name, query, err)
 		}
-		res, err := Execute(nil, st, p, Options{})
+		res, err := Execute(nil, st, planner.Fixed(p), Options{})
 		if err != nil {
 			t.Fatalf("%s: execute %s: %v", name, query, err)
 		}
@@ -120,11 +121,11 @@ func TestNestedLoopJoinAgreesWithMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merge, err := Execute(nil, st, p, Options{Join: MergeJoin})
+	merge, err := Execute(nil, st, planner.Fixed(p), Options{Join: MergeJoin})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := Execute(nil, st, p, Options{Join: NestedLoopJoin})
+	nl, err := Execute(nil, st, planner.Fixed(p), Options{Join: NestedLoopJoin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestEmptyPlanShortCircuits(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := relstore.NewExecContext()
-	res, err := Execute(ctx, st, p, Options{})
+	res, err := Execute(ctx, st, planner.Fixed(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestVisitedElementsOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx := relstore.NewExecContext()
-		res, err := Execute(ctx, st, p, Options{})
+		res, err := Execute(ctx, st, planner.Fixed(p), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

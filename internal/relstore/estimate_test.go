@@ -1,0 +1,76 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestEstimates cross-checks the planner probes against real scans on
+// the makeRecords corpus (runs of 10 per plabel, tags 1..7, 13 data
+// values): zero means provably empty, non-zero stays within the loose
+// interpolation bound, and exact short runs come back exact.
+func TestEstimates(t *testing.T) {
+	const n = 5000
+	sp := buildSP(t, makeRecords(n))
+
+	ctx := NewExecContext()
+	// Exact run length: plabel 3 is a run of 10, well inside one leaf.
+	if got, err := sp.EstimatePLabelExact(ctx, u(3)); err != nil || got != 10 {
+		t.Fatalf("EstimatePLabelExact(3) = %d, %v, want exact 10", got, err)
+	}
+	// Provably empty run: plabel past the data.
+	if got, err := sp.EstimatePLabelExact(ctx, u(n)); err != nil || got != 0 {
+		t.Fatalf("EstimatePLabelExact(%d) = %d, %v, want 0", n, got, err)
+	}
+	// Range probe vs. true count.
+	trueCount := func(lo, hi uint64) int {
+		recs, err := Collect(sp.ScanPLabelRange(nil, u(lo), u(hi)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(recs)
+	}
+	for _, r := range [][2]uint64{{0, 0}, {10, 20}, {0, n / 10}, {100, 400}} {
+		want := trueCount(r[0], r[1])
+		got, err := sp.EstimatePLabelRange(ctx, u(r[0]), u(r[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == 0) != (want == 0) {
+			t.Fatalf("range [%d,%d]: estimate %d, true %d — zero must be definitive", r[0], r[1], got, want)
+		}
+		if want > 0 && (got > uint64(want)*3+64 || uint64(want) > got*3+64) {
+			t.Fatalf("range [%d,%d]: estimate %d too far from true %d", r[0], r[1], got, want)
+		}
+	}
+	// Probes charge their page reads to the context.
+	if ctx.PageReads() == 0 {
+		t.Fatal("probe page reads were not accounted to the ExecContext")
+	}
+
+	// Data probe: "val-3" occurs every 13 records; "nope" never.
+	f := pager.OpenMem(256)
+	sd, err := Build(f, ClusterTag, makeRecords(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sd.EstimateData(nil, "nope"); err != nil || got != 0 {
+		t.Fatalf("EstimateData(nope) = %d, %v, want 0", got, err)
+	}
+	got, err := sd.EstimateData(nil, "val-3")
+	if err != nil || got == 0 {
+		t.Fatalf("EstimateData(val-3) = %d, %v, want > 0", got, err)
+	}
+	// Tag probe on the SD relation: each tag covers ~1/7 of the corpus.
+	gotTag, err := sd.EstimateTag(nil, 1)
+	if err != nil || gotTag == 0 {
+		t.Fatalf("EstimateTag(1) = %d, %v, want > 0", gotTag, err)
+	}
+	if want := uint64(n / 7); gotTag > want*3 || want > gotTag*3 {
+		t.Fatalf("EstimateTag(1) = %d, want near %d", gotTag, want)
+	}
+	if got, err := sd.EstimateTag(nil, 99); err != nil || got != 0 {
+		t.Fatalf("EstimateTag(99) = %d, %v, want 0", got, err)
+	}
+}

@@ -32,7 +32,12 @@ type planKey struct {
 }
 
 // planCache is a bounded LRU of PreparedQuery by planKey, caching
-// exactly what ExecStats.PlanElapsed measures: parse + translate.
+// exactly what ExecStats.PlanElapsed measures: parse, translate and the
+// physical planner's selectivity-ordered pass — a cached entry holds
+// the ordered physical plan (immutable, see package planner), so a
+// warm hit skips the planner's index probes too. The generation key
+// also guards the planner's estimates: they were probed from one
+// store's indexes and are as generation-bound as the P-label ranges.
 type planCache struct {
 	mu      sync.Mutex
 	max     int

@@ -23,17 +23,26 @@
 //
 // # Plan reuse
 //
-// A *Plan is immutable once a translator returns it: both engines (and
-// sqlgen) only read it, and the translators clone the source query tree
-// into Plan.Source rather than aliasing caller memory. One plan may
-// therefore be executed any number of times, concurrently, on either
-// engine — this is what blas.PreparedQuery and the blasd plan cache
-// build on. The one caveat is that a plan's P-label ranges are minted by
-// one store's labeling scheme, so a plan is only reusable against the
-// store whose Context translated it; cache layers key plans by store
-// generation for exactly this reason. Code extending the engines must
-// preserve the read-only contract (annotate per-execution state on the
-// ExecContext, never on the plan).
+// A *Plan is immutable once a translator returns it: the physical
+// planner, both engines and sqlgen only read it, and the translators
+// clone the source query tree into Plan.Source rather than aliasing
+// caller memory. One plan may therefore be wrapped and executed any
+// number of times, concurrently, on either engine — this is what
+// blas.PreparedQuery and the blasd plan cache build on (they hold a
+// planner.Physical, which wraps a *Plan under the same immutability
+// contract). The one caveat is that a plan's P-label ranges are minted
+// by one store's labeling scheme, so a plan is only reusable against
+// the store whose Context translated it; cache layers key plans by
+// store generation for exactly this reason. Code extending the engines
+// must preserve the read-only contract (annotate per-execution state on
+// the ExecContext, never on the plan).
+//
+// A translated plan is purely LOGICAL: Fragments and Joins state what
+// to evaluate, and their order carries no execution semantics. The
+// physical decisions — which fragment to scan first, which join to run
+// first, whether the plan is provably empty — live in package planner,
+// which wraps the logical plan in an ordered planner.Physical that both
+// engines execute.
 package translate
 
 import (

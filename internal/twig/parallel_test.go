@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
@@ -19,7 +20,7 @@ import (
 func execStarts(t *testing.T, st *core.Store, plan *translate.Plan, parallelism int) ([]uint32, uint64) {
 	t.Helper()
 	ctx := relstore.NewExecContext()
-	res, err := Execute(ctx, st, plan, core.ExecConfig{Parallelism: parallelism})
+	res, err := Execute(ctx, st, planner.Fixed(plan), core.ExecConfig{Parallelism: parallelism})
 	if err != nil {
 		t.Fatalf("Execute(P=%d): %v", parallelism, err)
 	}
@@ -175,7 +176,7 @@ func TestTwigRejectsNegativeParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Execute(nil, st, plan, core.ExecConfig{Parallelism: -1}); err == nil {
+	if _, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{Parallelism: -1}); err == nil {
 		t.Fatal("Execute accepted Parallelism = -1")
 	}
 }
@@ -205,7 +206,7 @@ func TestTwigConcurrentExecutes(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		res, err := Execute(nil, st, plan, core.ExecConfig{Parallelism: 1})
+		res, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func TestTwigConcurrentExecutes(t *testing.T) {
 				j := jobs[(g+i)%len(jobs)]
 				par := []int{1, 2, 4}[i%3]
 				ctx := relstore.NewExecContext()
-				res, err := Execute(ctx, st, j.plan, core.ExecConfig{Parallelism: par})
+				res, err := Execute(ctx, st, planner.Fixed(j.plan), core.ExecConfig{Parallelism: par})
 				if err != nil {
 					errs <- err
 					return

@@ -2,9 +2,14 @@
 // holistic twig join over start-ordered label streams, in the style of
 // Bruno, Koudas & Srivastava's PathStack/TwigStack (SIGMOD 2002).
 //
-// The engine consumes the same translated plans as the relational
-// engine. Each plan fragment becomes one twig node whose input stream is
-// the fragment's selection delivered in document (start) order:
+// The engine consumes the same ordered physical plans
+// (planner.Physical) as the relational engine. Scan order does not
+// affect the holistic sweep — every stream is swept in global start
+// order regardless — but the engine honors the planner's emptiness
+// proof (KnownEmpty returns before any stream is built) and terminates
+// early when any prepared stream is known empty, skipping the sweep
+// entirely. Each plan fragment becomes one twig node whose input stream
+// is the fragment's selection delivered in document (start) order:
 //
 //	D-labeling mode: one per-tag stream from the SD relation;
 //	BLAS mode:       per-P-label-range streams from the SP relation
@@ -77,6 +82,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/relstore"
 	"repro/internal/translate"
 )
@@ -85,6 +91,10 @@ import (
 // order, deduplicated.
 type Result struct {
 	Records []relstore.Record
+	// EarlyTerminated reports that an empty intermediate (a planner
+	// proof or a stream that resolved to zero runs) let the engine skip
+	// the sweep and merge entirely.
+	EarlyTerminated bool
 }
 
 // Starts returns the start positions of the result records.
@@ -96,7 +106,11 @@ func (r *Result) Starts() []uint32 {
 	return out
 }
 
-// Execute runs a plan against a store using the holistic twig join.
+// Execute runs a physical plan against a store using the holistic twig
+// join. The plan's join order does not change the sweep (all streams
+// advance in global start order), but the planner's emptiness proofs
+// do: a KnownEmpty plan skips stream preparation entirely, and a stream
+// that resolves to zero P-label runs skips the sweep and merge.
 // Statistics accumulate in ctx (nil discards them); one ctx per call
 // makes concurrent Execute calls over one store safe.
 //
@@ -107,19 +121,27 @@ func (r *Result) Starts() []uint32 {
 // P * (plan fragments) goroutines — prefetchers are I/O-bound and
 // block on a depth-2 channel, so compute concurrency tracks P, not the
 // product. The result is byte-identical at every setting.
-func Execute(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, cfg core.ExecConfig) (*Result, error) {
+func Execute(ctx *relstore.ExecContext, st *core.Store, p *planner.Physical, cfg core.ExecConfig) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("twig: %w", err)
 	}
-	if p.Empty() {
-		return &Result{}, nil
+	lp := p.Logical
+	if p.KnownEmpty || lp.Empty() {
+		return &Result{EarlyTerminated: p.ProbedEmpty()}, nil
 	}
 	tr := ctx.Trace()
 	scanBegin := tr.Begin()
-	eng, err := build(ctx, st, p)
+	eng, err := build(ctx, st, lp, p.Joins)
 	tr.End(obs.PhaseScan, scanBegin)
 	if err != nil {
 		return nil, err
+	}
+	for _, n := range eng.nodes {
+		if n.stream.KnownEmpty() {
+			// A run-less stream can bind nothing, and every twig node
+			// must bind: skip the sweep and merge.
+			return &Result{EarlyTerminated: true}, nil
+		}
 	}
 	sweepBegin := tr.Begin()
 	leafSols, err := eng.sweepAll(ctx, cfg.Workers())
@@ -166,7 +188,11 @@ type engine struct {
 	maxDepth int // longest root-to-leaf path
 }
 
-func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engine, error) {
+// build assembles the twig node tree from the logical plan's fragments
+// and the physical join order (the same edge set as the logical joins,
+// so the resulting tree is identical — order only matters to the
+// relational engine's pipeline).
+func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan, joins []translate.Join) (*engine, error) {
 	eng := &engine{st: st, plan: p}
 	eng.nodes = make([]*tnode, len(p.Fragments))
 	for i, f := range p.Fragments {
@@ -183,7 +209,7 @@ func build(ctx *relstore.ExecContext, st *core.Store, p *translate.Plan) (*engin
 		}
 	}
 	hasParent := make([]bool, len(p.Fragments))
-	for _, j := range p.Joins {
+	for _, j := range joins {
 		a, d := eng.nodes[j.Anc], eng.nodes[j.Desc]
 		if hasParent[j.Desc] {
 			return nil, fmt.Errorf("twig: fragment %d has two parents", j.Desc)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/translate"
 	"repro/internal/xpath"
@@ -45,7 +46,7 @@ func TestManyLeavesSharedPrefix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
-			res, err := Execute(nil, st, plan, core.ExecConfig{})
+			res, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", qs, trName, err)
 			}
@@ -87,14 +88,14 @@ func TestUnfoldFallbackEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
+	rres, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !enginetest.StartsEqual(rres.Starts(), want) {
 		t.Fatalf("relational fallback wrong: got %v want %v", rres.Starts(), want)
 	}
-	tres, err := Execute(nil, st, plan, core.ExecConfig{})
+	tres, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +128,14 @@ func TestPLabelSetStreams(t *testing.T) {
 		t.Fatalf("expected a plabel-set fragment, got %v\n%s", ret.Access.Kind, plan)
 	}
 	want, _ := enginetest.EvalStarts(tree, q)
-	res, err := Execute(nil, st, plan, core.ExecConfig{})
+	res, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !enginetest.StartsEqual(res.Starts(), want) {
 		t.Fatalf("twig set-scan: got %v want %v", res.Starts(), want)
 	}
-	rres, err := relengine.Execute(nil, st, plan, relengine.Options{})
+	rres, err := relengine.Execute(nil, st, planner.Fixed(plan), relengine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestDeepRecursionStress(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := Execute(nil, st, plan, core.ExecConfig{})
+				res, err := Execute(nil, st, planner.Fixed(plan), core.ExecConfig{})
 				if err != nil {
 					t.Fatalf("%s/%s: %v", qs, trName, err)
 				}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enginetest"
+	"repro/internal/planner"
 	"repro/internal/relengine"
 	"repro/internal/relstore"
 	"repro/internal/translate"
@@ -65,7 +66,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 		if err != nil {
 			t.Fatalf("%s: translate %s: %v", name, query, err)
 		}
-		res, err := Execute(nil, st, p, core.ExecConfig{})
+		res, err := Execute(nil, st, planner.Fixed(p), core.ExecConfig{})
 		if err != nil {
 			t.Fatalf("%s: twig execute %s: %v", name, query, err)
 		}
@@ -74,7 +75,7 @@ func runAll(t *testing.T, st *core.Store, tree *xmltree.Node, query string) {
 				enginetest.FormatStarts(res.Starts()), enginetest.FormatStarts(want), p)
 		}
 		// Cross-check against the relational engine on the same plan.
-		rres, err := relengine.Execute(nil, st, p, relengine.Options{})
+		rres, err := relengine.Execute(nil, st, planner.Fixed(p), relengine.Options{})
 		if err != nil {
 			t.Fatalf("%s: relengine on same plan: %v", name, err)
 		}
@@ -178,7 +179,7 @@ func TestElementsReadAdvantage(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx := relstore.NewExecContext()
-		if _, err := Execute(ctx, st, p, core.ExecConfig{}); err != nil {
+		if _, err := Execute(ctx, st, planner.Fixed(p), core.ExecConfig{}); err != nil {
 			t.Fatal(err)
 		}
 		return ctx.Visited()
@@ -201,7 +202,7 @@ func TestEmptyPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Execute(nil, st, p, core.ExecConfig{})
+	res, err := Execute(nil, st, planner.Fixed(p), core.ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
