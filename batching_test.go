@@ -1,0 +1,147 @@
+// Batching contract tests (PR 10): QueryOptions.BatchSize and
+// PrefetchDepth must never change results — only buffer sizes and
+// pipeline depth — at every parallelism on both engines; traced queries
+// must account their decode work; and completed queries must feed the
+// store's batch-size histogram.
+package blas
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBatchKnobsValidation(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, opts := range []QueryOptions{
+		{BatchSize: -1},
+		{PrefetchDepth: -5},
+	} {
+		if _, err := st.Query("/db/entry", opts); err == nil {
+			t.Errorf("options %+v accepted, want validation error", opts)
+		} else if !strings.Contains(err.Error(), "must be >= 0") {
+			t.Errorf("options %+v: error %q does not explain the bound", opts, err)
+		}
+	}
+}
+
+// TestBatchKnobsNeverChangeResults pins the acceptance contract: pinned
+// batch sizes and prefetch depths — including values outside the
+// clamping bounds — return byte-identical matches to the adaptive
+// default on both engines at P in {1, 4}.
+func TestBatchKnobsNeverChangeResults(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	queries := []string{
+		"/db/entry/protein/name",
+		"//superfamily",
+		`//entry[reference//year="1995"]//name`,
+	}
+	knobs := []QueryOptions{
+		{BatchSize: 1},      // clamps up to MinBatchSize
+		{BatchSize: 64},     // smallest legal
+		{BatchSize: 100000}, // clamps down to MaxBatchSize
+		{PrefetchDepth: 1},  // no pipelining
+		{PrefetchDepth: 99}, // clamps down to the depth ceiling
+		{BatchSize: 64, PrefetchDepth: 8},
+	}
+	for _, engine := range []Engine{EngineRelational, EngineTwig} {
+		for _, q := range queries {
+			base, err := st.Query(q, QueryOptions{Engine: engine, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s %s: %v", engine, q, err)
+			}
+			if len(base.Matches) == 0 {
+				t.Fatalf("%s %s: empty baseline makes the comparison vacuous", engine, q)
+			}
+			for _, par := range []int{1, 4} {
+				for _, k := range knobs {
+					opts := k
+					opts.Engine = engine
+					opts.Parallelism = par
+					res, err := st.Query(q, opts)
+					if err != nil {
+						t.Fatalf("%s P=%d %s %+v: %v", engine, par, q, k, err)
+					}
+					if !reflect.DeepEqual(res.Matches, base.Matches) {
+						t.Errorf("%s P=%d %s: batch knobs %+v changed the result (%d matches != %d)",
+							engine, par, q, k, len(res.Matches), len(base.Matches))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceDecodeAccounting: on a columnar store every traced query that
+// returns matches decoded records through the batch layer, and the
+// decode record count is consistent with the visited-elements stat.
+func TestTraceDecodeAccounting(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, engine := range []Engine{EngineRelational, EngineTwig} {
+		for _, par := range []int{1, 4} {
+			res, err := st.Query("/db/entry/protein/name", QueryOptions{Engine: engine, Parallelism: par, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ph := res.Stats.Phases
+			if ph == nil {
+				t.Fatal("Trace requested but Phases is nil")
+			}
+			if ph.DecodedRecords == 0 {
+				t.Errorf("%s P=%d: matches returned but DecodedRecords = 0", engine, par)
+			}
+			if ph.DecodedRecords > res.Stats.VisitedElements {
+				t.Errorf("%s P=%d: decoded %d > visited %d: decode accounting bled",
+					engine, par, ph.DecodedRecords, res.Stats.VisitedElements)
+			}
+		}
+	}
+}
+
+// TestStoreMetricsBatchSizes: completed queries merge their batch-size
+// histograms into StoreMetrics under the documented class labels.
+func TestStoreMetricsBatchSizes(t *testing.T) {
+	st, err := BuildFromString(concurrencyDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if m := st.Metrics(); len(m.BatchSizes) != 0 {
+		t.Fatalf("quiescent store reports batch sizes: %v", m.BatchSizes)
+	}
+	for _, engine := range []Engine{EngineRelational, EngineTwig} {
+		if _, err := st.Query("//superfamily", QueryOptions{Engine: engine}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := st.Metrics()
+	if len(m.BatchSizes) == 0 {
+		t.Fatal("queries completed but StoreMetrics.BatchSizes is empty")
+	}
+	var total uint64
+	for label, count := range m.BatchSizes {
+		if label == "unknown" {
+			t.Errorf("histogram contains the unknown class: %v", m.BatchSizes)
+		}
+		if !strings.Contains(label, "-") && !strings.HasSuffix(label, "+") {
+			t.Errorf("batch-size label %q is not a range", label)
+		}
+		total += count
+	}
+	if total == 0 {
+		t.Errorf("batch-size histogram sums to zero: %v", m.BatchSizes)
+	}
+}

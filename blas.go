@@ -61,6 +61,25 @@
 // concurrently with queries — it is memory-safe, though it inflates the
 // miss counts those queries observe.
 //
+// # Storage
+//
+// The two relations live in paged heap files behind bulk-loaded B+-tree
+// indexes (internal/relstore). Since format 2, heap pages are columnar
+// and delta-compressed: a page's cluster-key-ordered records are cut
+// into runs sharing the cluster prefix, and each run stores its starts
+// as ascending delta-varints, its ends/levels/value-lengths as packed
+// varint columns, and its values out-of-line — so a batched scan decodes
+// a whole run with one branch-light loop per column, and start-range
+// restrictions are evaluated on the packed starts before any record
+// materializes. Build always writes the current format; Open reads both
+// the current and the previous format (older stores keep working
+// read-only), and a store written by a newer, unknown format is rejected
+// with an error naming the fix: rebuild with blasload. Scan results are
+// byte-identical across formats. Batch sizes and prefetch depths adapt
+// per query (see QueryOptions.BatchSize/PrefetchDepth); the chosen batch
+// sizes surface in StoreMetrics.BatchSizes and per-query decode work in
+// ExecStats.Phases.
+//
 // # Observability
 //
 // The system reports its behaviour at three granularities:
@@ -358,6 +377,16 @@ type QueryOptions struct {
 	// the twig engine. 0 selects runtime.GOMAXPROCS(0); 1 runs the query
 	// fully sequentially. The result set is identical at every setting.
 	Parallelism int
+	// BatchSize pins the record-batch size of the query's streams. 0
+	// (the default) lets a per-query controller adapt it between 64 and
+	// 4096 records from observed pager miss latency and consumer drain
+	// rate; a positive value fixes it (clamped to the same bounds).
+	// Never changes results — only buffer sizes.
+	BatchSize int
+	// PrefetchDepth pins how many batches each stream prefetcher keeps
+	// in flight. 0 (the default) adapts it from observed consumer
+	// stalls; a positive value fixes it (clamped to [1, 8]).
+	PrefetchDepth int
 	// Trace records a per-phase wall-time breakdown of the execution,
 	// returned in ExecStats.Phases. Off by default; the untraced path
 	// performs no extra allocations or clock reads.
@@ -367,6 +396,21 @@ type QueryOptions struct {
 	// escape hatch for debugging plan-order differences. Off by default
 	// (greedy most-selective-first ordering).
 	NoReorder bool
+}
+
+// validate rejects malformed option values (Query and
+// PreparedQuery.Query both call it, so misuse fails identically).
+func (o QueryOptions) validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("blas: QueryOptions.Parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", o.Parallelism)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("blas: QueryOptions.BatchSize must be >= 0 (0 = adaptive), got %d", o.BatchSize)
+	}
+	if o.PrefetchDepth < 0 {
+		return fmt.Errorf("blas: QueryOptions.PrefetchDepth must be >= 0 (0 = adaptive), got %d", o.PrefetchDepth)
+	}
+	return nil
 }
 
 // Match is one result node. The JSON field names are the wire format
@@ -423,10 +467,13 @@ type ExecStats struct {
 // inside Sweep). The gap between Elapsed and the sum of those phases is
 // uninstrumented glue and stays small.
 //
-// PrefetchStall is different: it is the cumulative time sweep
-// goroutines spent blocked waiting on stream prefetchers, summed across
-// partitions. It overlaps Sweep rather than adding to it and can exceed
-// wall-clock time at high parallelism.
+// PrefetchStall and Decode are different: PrefetchStall is the
+// cumulative time sweep goroutines spent blocked waiting on stream
+// prefetchers, and Decode the cumulative time the batch layer spent
+// decoding heap-page records (with DecodedRecords counting how many),
+// both summed across concurrent streams. They overlap Scan/Sweep rather
+// than adding to them and can exceed wall-clock time at high
+// parallelism.
 type PhaseBreakdown struct {
 	Parse         time.Duration `json:"parse_ns"`
 	Translate     time.Duration `json:"translate_ns"`
@@ -435,7 +482,12 @@ type PhaseBreakdown struct {
 	Join          time.Duration `json:"join_ns"`
 	Sweep         time.Duration `json:"sweep_ns"`
 	Finalize      time.Duration `json:"finalize_ns"`
+	Decode        time.Duration `json:"decode_ns"`
 	PrefetchStall time.Duration `json:"prefetch_stall_ns"`
+	// DecodedRecords is the number of heap records the batch layer
+	// decoded during the Decode time (visited elements, counted at the
+	// page-decode loops).
+	DecodedRecords uint64 `json:"decoded_records"`
 	// Partitions holds the parallel twig sweep's per-partition root
 	// record counts, in document order; empty for sequential sweeps and
 	// for the relational engine.
@@ -444,15 +496,17 @@ type PhaseBreakdown struct {
 
 func phaseBreakdown(s obs.TraceSnapshot) *PhaseBreakdown {
 	return &PhaseBreakdown{
-		Parse:         s.Span(obs.PhaseParse),
-		Translate:     s.Span(obs.PhaseTranslate),
-		Order:         s.Span(obs.PhaseOrder),
-		Scan:          s.Span(obs.PhaseScan),
-		Join:          s.Span(obs.PhaseJoin),
-		Sweep:         s.Span(obs.PhaseSweep),
-		Finalize:      s.Span(obs.PhaseFinalize),
-		PrefetchStall: s.Span(obs.PhasePrefetchStall),
-		Partitions:    s.Partitions,
+		Parse:          s.Span(obs.PhaseParse),
+		Translate:      s.Span(obs.PhaseTranslate),
+		Order:          s.Span(obs.PhaseOrder),
+		Scan:           s.Span(obs.PhaseScan),
+		Join:           s.Span(obs.PhaseJoin),
+		Sweep:          s.Span(obs.PhaseSweep),
+		Finalize:       s.Span(obs.PhaseFinalize),
+		Decode:         s.Span(obs.PhaseDecode),
+		PrefetchStall:  s.Span(obs.PhasePrefetchStall),
+		DecodedRecords: s.DecodedRecords,
+		Partitions:     s.Partitions,
 	}
 }
 
@@ -460,8 +514,8 @@ func phaseBreakdown(s obs.TraceSnapshot) *PhaseBreakdown {
 // to call concurrently from any number of goroutines. It returns
 // ErrClosed once Close has been called.
 func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
-	if opts.Parallelism < 0 {
-		return nil, fmt.Errorf("blas: QueryOptions.Parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", opts.Parallelism)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if err := s.begin(); err != nil {
 		return nil, err
@@ -493,7 +547,12 @@ func (s *Store) Query(query string, opts QueryOptions) (*Result, error) {
 // ctx — planner probe reads already accounted there stay in the stats.
 // run balances QueryBegin with QueryDone or QueryFailed.
 func (s *Store) run(ctx *relstore.ExecContext, phys *planner.Physical, planElapsed time.Duration, opts QueryOptions, trace *obs.Trace) (*Result, error) {
-	cfg := core.ExecConfig{Parallelism: opts.Parallelism}
+	cfg := core.ExecConfig{Parallelism: opts.Parallelism, BatchSize: opts.BatchSize, PrefetchDepth: opts.PrefetchDepth}
+	// Attach the batch controller here rather than letting the engine do
+	// it, so its per-size-class batch counts can be harvested into the
+	// store metrics after the run.
+	batchCtl := cfg.BatchController()
+	ctx.SetBatchControl(batchCtl)
 	lp := phys.Logical
 	execBegin := time.Now()
 	var recs []Match
@@ -538,6 +597,7 @@ func (s *Store) run(ctx *relstore.ExecContext, phys *planner.Physical, planElaps
 	if trace != nil {
 		stats.Phases = phaseBreakdown(trace.Snapshot())
 	}
+	s.metrics.AddBatchSizes(batchCtl.SizeClasses())
 	if early {
 		s.metrics.EarlyTermination()
 	}
@@ -684,8 +744,8 @@ func (p *PreparedQuery) Joins() int { return p.phys.Logical.NumJoins() }
 // called.
 func (p *PreparedQuery) Query(opts QueryOptions) (*Result, error) {
 	s := p.store
-	if opts.Parallelism < 0 {
-		return nil, fmt.Errorf("blas: QueryOptions.Parallelism must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", opts.Parallelism)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if err := s.begin(); err != nil {
 		return nil, err
@@ -896,6 +956,11 @@ type StoreMetrics struct {
 	Latency           LatencyHistogram            `json:"latency"`
 	ByEngine          map[string]LatencyHistogram `json:"queries_by_engine"`
 	ByTranslator      map[string]uint64           `json:"queries_by_translator"`
+	// BatchSizes is the batch-size histogram of every completed query's
+	// streams: record-count class label (e.g. "64-127", "8192+") to the
+	// number of batches produced in that class. Classes with zero batches
+	// are omitted.
+	BatchSizes map[string]uint64 `json:"batch_sizes"`
 	// Pools maps relation name ("sp", "sd") to its buffer pool traffic.
 	Pools map[string]PoolMetrics `json:"pools"`
 }
@@ -924,6 +989,7 @@ func (s *Store) Metrics() StoreMetrics {
 		Latency:           latencyHistogram(r.Latency),
 		ByEngine:          make(map[string]LatencyHistogram, len(r.ByEngine)),
 		ByTranslator:      r.ByTranslator,
+		BatchSizes:        make(map[string]uint64),
 		Pools: map[string]PoolMetrics{
 			"sp": poolMetrics(s.inner.SP().File()),
 			"sd": poolMetrics(s.inner.SD().File()),
@@ -931,6 +997,11 @@ func (s *Store) Metrics() StoreMetrics {
 	}
 	for name, h := range r.ByEngine {
 		m.ByEngine[name] = latencyHistogram(h)
+	}
+	for i, c := range r.BatchSizes {
+		if c != 0 {
+			m.BatchSizes[relstore.BatchSizeClassLabel(i)] = c
+		}
 	}
 	return m
 }

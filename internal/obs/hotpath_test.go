@@ -16,7 +16,7 @@ func TestHotpathAnnotations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"Add", "Begin", "End"}
+	want := []string{"Add", "AddDecoded", "Begin", "End"}
 	for _, name := range want {
 		if !got[name] {
 			t.Errorf("Trace.%s lost its //blas:hotpath annotation; the BenchmarkTraceOff zero-alloc guard and hotalloc no longer cover the same code", name)

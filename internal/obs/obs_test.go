@@ -17,7 +17,10 @@ func TestTraceOffZeroAlloc(t *testing.T) {
 		tr.End(PhaseScan, b)
 		b = tr.Begin()
 		tr.End(PhaseOrder, b) // planner path: same guarantee as the engine phases
+		b = tr.Begin()
+		tr.End(PhaseDecode, b) // batch-layer decode spans
 		tr.Add(PhasePrefetchStall, time.Millisecond)
+		tr.AddDecoded(128)
 		tr.AddPartition(42)
 	}); a != 0 {
 		t.Errorf("nil-trace span recording allocates %.1f times per call, want 0", a)
@@ -46,8 +49,15 @@ func TestTraceSpans(t *testing.T) {
 	tr.Add(PhaseJoin, 5*time.Millisecond)
 	tr.AddPartition(10)
 	tr.AddPartition(20)
+	tr.AddDecoded(100)
+	tr.AddDecoded(28)
+	tr.AddDecoded(0)  // ignored
+	tr.AddDecoded(-5) // ignored
 
 	s := tr.Snapshot()
+	if s.DecodedRecords != 128 {
+		t.Errorf("decoded records = %d, want 128", s.DecodedRecords)
+	}
 	if s.Span(PhaseParse) <= 0 {
 		t.Errorf("parse span = %v, want > 0", s.Span(PhaseParse))
 	}
@@ -189,6 +199,12 @@ func TestRegistryCounts(t *testing.T) {
 	}
 	if s.ByTranslator["pushup"] != 2 {
 		t.Errorf("per-translator count = %v", s.ByTranslator)
+	}
+	r.AddBatchSizes([NumBatchClasses]uint64{3, 0, 7})
+	r.AddBatchSizes([NumBatchClasses]uint64{1})
+	bs := r.Snapshot().BatchSizes
+	if bs[0] != 4 || bs[1] != 0 || bs[2] != 7 {
+		t.Errorf("batch-size histogram = %v, want [4 0 7 ...]", bs)
 	}
 	var perEngine uint64
 	for _, h := range s.ByEngine {

@@ -52,6 +52,13 @@ const (
 	PhaseSweep
 	// PhaseFinalize is record-to-match conversion in the public API.
 	PhaseFinalize
+	// PhaseDecode is the cumulative time spent decoding heap-page records
+	// in the batch layer (column-group decodes on format-2 pages, slotted
+	// record parsing on format-1). Like PhasePrefetchStall it accumulates
+	// across concurrent streams and overlaps the scan/sweep spans, so it
+	// is reported alongside the breakdown but excluded from the
+	// sum-to-total invariant.
+	PhaseDecode
 	// PhasePrefetchStall is the cumulative time sweep goroutines spent
 	// blocked on stream prefetchers — time the prefetchers failed to
 	// hide. It overlaps PhaseSweep and sums across partitions, so it can
@@ -62,7 +69,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"parse", "translate", "order", "scan", "join", "sweep", "finalize", "prefetch_stall",
+	"parse", "translate", "order", "scan", "join", "sweep", "finalize", "decode", "prefetch_stall",
 }
 
 // String returns the phase's snake_case name (used as JSON keys).
@@ -78,7 +85,8 @@ func (p Phase) String() string {
 // for concurrent use, so a partitioned sweep's workers may report into
 // one trace.
 type Trace struct {
-	phases [NumPhases]atomic.Int64 // cumulative nanoseconds
+	phases  [NumPhases]atomic.Int64 // cumulative nanoseconds
+	decoded atomic.Uint64           // heap records decoded in the batch layer
 
 	mu       sync.Mutex
 	partRecs []uint64 // per-partition root-record counts, partition order
@@ -121,6 +129,17 @@ func (t *Trace) Add(p Phase, d time.Duration) {
 	t.phases[p].Add(int64(d))
 }
 
+// AddDecoded counts n heap records decoded in the batch layer (the
+// record count behind the PhaseDecode span).
+//
+//blas:hotpath
+func (t *Trace) AddDecoded(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.decoded.Add(uint64(n))
+}
+
 // AddPartition records one sweep partition and the number of root
 // records it owns. The sequential (unpartitioned) sweep records nothing:
 // a snapshot with no partitions means the sweep ran whole.
@@ -135,8 +154,9 @@ func (t *Trace) AddPartition(rootRecords uint64) {
 
 // TraceSnapshot is an immutable copy of a trace's accumulated phases.
 type TraceSnapshot struct {
-	Phases     [NumPhases]time.Duration
-	Partitions []uint64 // per-partition root-record counts; nil if unpartitioned
+	Phases         [NumPhases]time.Duration
+	DecodedRecords uint64   // heap records decoded in the batch layer
+	Partitions     []uint64 // per-partition root-record counts; nil if unpartitioned
 }
 
 // Span returns the duration attributed to phase p.
@@ -152,6 +172,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	for p := Phase(0); p < NumPhases; p++ {
 		s.Phases[p] = time.Duration(t.phases[p].Load())
 	}
+	s.DecodedRecords = t.decoded.Load()
 	t.mu.Lock()
 	if len(t.partRecs) > 0 {
 		s.Partitions = append([]uint64(nil), t.partRecs...)

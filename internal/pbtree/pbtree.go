@@ -249,41 +249,52 @@ func NewReader(f *pager.File, tree Tree) *Reader { return &Reader{f: f, tree: tr
 // Count returns the number of entries in the tree.
 func (r *Reader) Count() uint64 { return r.tree.Count }
 
-// page is a parsed page snapshot (copied out of the pool). The copy is
-// what makes iterators immune to eviction: once loadPage returns, the
-// pager frame is unpinned and may be reused, while the iterator keeps
-// reading its private buffer.
+// page interprets a page image: either a pinned pager frame (valid only
+// inside a view, used for descents) or a private copy (what iterators
+// hold — the copy is what makes them immune to eviction: the pager
+// frame is unpinned while the iterator keeps reading its own buffer).
+// Slot offsets are read straight out of the image on demand; parsing
+// the whole slot table up front would cost O(n) per page load when a
+// descent only touches O(log n) slots.
 type page struct {
-	typ   byte
-	n     int
-	next  pager.PageID
-	data  []byte
-	slots []uint16
+	typ  byte
+	n    int
+	next pager.PageID
+	data []byte
 }
 
+// parsePage interprets buf as a page. The result aliases buf.
+func parsePage(buf []byte) page {
+	return page{
+		typ:  buf[0],
+		n:    int(binary.LittleEndian.Uint16(buf[1:3])),
+		next: pager.PageID(binary.LittleEndian.Uint32(buf[3:7])),
+		data: buf,
+	}
+}
+
+// loadPage copies page id out of the pool into a private buffer.
 func (r *Reader) loadPage(id pager.PageID, c *pager.Counters) (*page, error) {
 	buf := make([]byte, pager.PageSize)
 	if err := r.f.ReadCounted(id, buf, c); err != nil {
 		return nil, err
 	}
-	p := &page{typ: buf[0], data: buf}
-	p.n = int(binary.LittleEndian.Uint16(buf[1:3]))
-	p.next = pager.PageID(binary.LittleEndian.Uint32(buf[3:7]))
-	p.slots = make([]uint16, p.n)
-	for i := 0; i < p.n; i++ {
-		p.slots[i] = binary.LittleEndian.Uint16(buf[headerSize+2*i:])
-	}
-	return p, nil
+	p := parsePage(buf)
+	return &p, nil
+}
+
+func (p *page) slot(i int) int {
+	return int(binary.LittleEndian.Uint16(p.data[headerSize+2*i:]))
 }
 
 func (p *page) key(i int) []byte {
-	off := int(p.slots[i])
+	off := p.slot(i)
 	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
 	return p.data[off+2 : off+2+klen]
 }
 
 func (p *page) value(i int) []byte {
-	off := int(p.slots[i])
+	off := p.slot(i)
 	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
 	voff := off + 2 + klen
 	vlen := int(binary.LittleEndian.Uint16(p.data[voff:]))
@@ -291,7 +302,7 @@ func (p *page) value(i int) []byte {
 }
 
 func (p *page) child(i int) pager.PageID {
-	off := int(p.slots[i])
+	off := p.slot(i)
 	klen := int(binary.LittleEndian.Uint16(p.data[off:]))
 	return pager.PageID(binary.LittleEndian.Uint32(p.data[off+2+klen:]))
 }
@@ -323,24 +334,97 @@ func (r *Reader) Get(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-// leafFor descends to the leaf that would contain key.
-func (r *Reader) leafFor(key []byte, c *pager.Counters) (*page, error) {
-	p, err := r.loadPage(r.tree.Root, c)
-	if err != nil {
-		return nil, err
-	}
-	for p.typ == pageTypeInner {
-		i := p.search(key)
-		if i == 0 {
-			// key is smaller than every key in the tree; descend leftmost.
-			i = 1
+// SeekValue copies the value of the first entry with key >= from (nil
+// from = the smallest entry) into dst[:0], returning the possibly grown
+// slice. ok is false when no such entry exists. The descent and leaf
+// inspection run entirely inside pager views: unlike Scan, nothing is
+// copied out of the pool but the value itself — the cheap way to probe
+// a single position without materializing a leaf.
+func (r *Reader) SeekValue(from, dst []byte, c *pager.Counters) (val []byte, ok bool, err error) {
+	id := r.tree.Root
+	for {
+		var found, exhausted bool
+		next := id
+		err := r.f.ViewCounted(id, c, func(buf []byte) error {
+			p := parsePage(buf)
+			if p.typ == pageTypeInner {
+				i := p.search(from)
+				if i == 0 {
+					i = 1
+				}
+				next = p.child(i - 1)
+				return nil
+			}
+			i := 0
+			if from != nil {
+				i = p.search(from)
+				if i > 0 && bytes.Equal(p.key(i-1), from) {
+					i-- // include the exact match
+				}
+			}
+			if i >= p.n {
+				// Past this leaf: the sought entry, if any, heads the
+				// next leaf (descent picked the last subtree whose
+				// separator is <= from, so that key is provably > from).
+				if p.next == noPage {
+					exhausted = true
+					return nil
+				}
+				next = p.next
+				return nil
+			}
+			dst = append(dst[:0], p.value(i)...)
+			found = true
+			return nil
+		})
+		if err != nil {
+			return dst, false, err
 		}
-		p, err = r.loadPage(p.child(i-1), c)
+		if found {
+			return dst, true, nil
+		}
+		if exhausted {
+			return dst, false, nil
+		}
+		id = next
+	}
+}
+
+// leafFor descends to the leaf that would contain key (a nil key
+// descends leftmost). Inner pages are searched in place inside pager
+// views — no copy, no allocation — and only the leaf is copied out,
+// since it is the one page that outlives the descent.
+func (r *Reader) leafFor(key []byte, c *pager.Counters) (*page, error) {
+	id := r.tree.Root
+	for {
+		var leaf *page
+		next := id
+		err := r.f.ViewCounted(id, c, func(buf []byte) error {
+			p := parsePage(buf)
+			if p.typ == pageTypeInner {
+				i := p.search(key)
+				if i == 0 {
+					// key is smaller than every key in the tree (or nil):
+					// descend leftmost.
+					i = 1
+				}
+				next = p.child(i - 1)
+				return nil
+			}
+			own := make([]byte, len(buf))
+			copy(own, buf)
+			lp := parsePage(own)
+			leaf = &lp
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
+		if leaf != nil {
+			return leaf, nil
+		}
+		id = next
 	}
-	return p, nil
 }
 
 // loc is a resolved key position used by EstimateRange: the leaf holding
@@ -361,42 +445,57 @@ type loc struct {
 // same leaf always yield an exact entry count.
 func (r *Reader) locate(key []byte, c *pager.Counters) (loc, error) {
 	id := r.tree.Root
-	p, err := r.loadPage(id, c)
-	if err != nil {
-		return loc{}, err
-	}
 	var frac float64
 	span := 1.0
-	for p.typ == pageTypeInner {
-		i := 0
-		if key != nil {
-			if i = p.search(key); i > 0 {
-				i--
+	for {
+		var out loc
+		done := false
+		next := id
+		err := r.f.ViewCounted(id, c, func(buf []byte) error {
+			// The whole descent runs against pinned frames: locate
+			// retains only offsets and fractions, never page bytes, so
+			// nothing needs to be copied out of the pool.
+			p := parsePage(buf)
+			if p.typ == pageTypeInner {
+				i := 0
+				if key != nil {
+					if i = p.search(key); i > 0 {
+						i--
+					}
+				}
+				frac += span * float64(i) / float64(p.n)
+				span /= float64(p.n)
+				next = p.child(i)
+				return nil
 			}
-		}
-		frac += span * float64(i) / float64(p.n)
-		span /= float64(p.n)
-		id = p.child(i)
-		if p, err = r.loadPage(id, c); err != nil {
+			done = true
+			lb := 0
+			if key != nil {
+				lb = p.search(key)
+				if lb > 0 && bytes.Equal(p.key(lb-1), key) {
+					lb-- // lower bound includes the exact match
+				}
+			}
+			if p.n > 0 {
+				frac += span * float64(lb) / float64(p.n)
+			}
+			if lb >= p.n {
+				// Past this leaf's entries: the lower bound is the next
+				// leaf's first entry (its id is free — no extra read).
+				out = loc{leaf: p.next, idx: 0, frac: frac}
+				return nil
+			}
+			out = loc{leaf: id, idx: lb, frac: frac}
+			return nil
+		})
+		if err != nil {
 			return loc{}, err
 		}
-	}
-	lb := 0
-	if key != nil {
-		lb = p.search(key)
-		if lb > 0 && bytes.Equal(p.key(lb-1), key) {
-			lb-- // lower bound includes the exact match
+		if done {
+			return out, nil
 		}
+		id = next
 	}
-	if p.n > 0 {
-		frac += span * float64(lb) / float64(p.n)
-	}
-	if lb >= p.n {
-		// Past this leaf's entries: the lower bound is the next leaf's
-		// first entry (its id is free — no extra page read).
-		return loc{leaf: p.next, idx: 0, frac: frac}, nil
-	}
-	return loc{leaf: id, idx: lb, frac: frac}, nil
 }
 
 // EstimateRange estimates the number of entries with from <= key < to
@@ -468,23 +567,16 @@ func (r *Reader) Scan(from, to []byte) *Iter {
 // scan touches (descent and leaf chain) is also recorded in c.
 func (r *Reader) ScanCounted(from, to []byte, c *pager.Counters) *Iter {
 	it := &Iter{r: r, c: c, to: to}
-	var p *page
-	var err error
-	if from == nil {
-		p, err = r.loadPage(r.tree.Root, c)
-		for err == nil && p.typ == pageTypeInner {
-			p, err = r.loadPage(p.child(0), c)
-		}
-		it.p, it.idx = p, 0
-	} else {
-		p, err = r.leafFor(from, c)
-		if err == nil {
-			i := p.search(from)
+	p, err := r.leafFor(from, c)
+	if err == nil {
+		i := 0
+		if from != nil {
+			i = p.search(from)
 			if i > 0 && bytes.Equal(p.key(i-1), from) {
 				i-- // include the exact match
 			}
-			it.p, it.idx = p, i
 		}
+		it.p, it.idx = p, i
 	}
 	it.err = err
 	return it

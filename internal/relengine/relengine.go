@@ -95,6 +95,9 @@ func Execute(ctx *relstore.ExecContext, st *core.Store, p *planner.Physical, opt
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("relengine: %w", err)
 	}
+	if ctx.BatchControl() == nil {
+		ctx.SetBatchControl(opts.BatchController())
+	}
 	lp := p.Logical
 	if p.KnownEmpty || lp.Empty() {
 		// A probe-proven empty plan skips every scan and join — zero
@@ -242,7 +245,7 @@ func scanFragment(ctx *relstore.ExecContext, st *core.Store, f *translate.Fragme
 	if err != nil {
 		return nil, err
 	}
-	recs, err := relstore.CollectBatches(bi, relstore.DefaultBatchSize)
+	recs, err := relstore.CollectAdaptive(ctx, bi)
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/keyenc"
+	"repro/internal/obs"
 	"repro/internal/uint128"
 )
 
@@ -38,6 +40,8 @@ type BatchIter interface {
 //
 //blas:hotpath
 func (r *Relation) fetchBatch(ctx *ExecContext, locs []Locator, dst []Record) error {
+	tr := ctx.Trace()
+	columnar := r.meta.format == FormatColumnar
 	for i := 0; i < len(locs); {
 		j := i + 1
 		for j < len(locs) && locs[j].Page == locs[i].Page {
@@ -45,7 +49,25 @@ func (r *Relation) fetchBatch(ctx *ExecContext, locs []Locator, dst []Record) er
 		}
 		lo, hi := i, j
 		err := r.f.ViewCounted(locs[lo].Page, ctx.pageCounters(), func(p []byte) error {
+			begin := tr.Begin()
 			n := int(binary.LittleEndian.Uint16(p[0:2]))
+			if columnar {
+				// Decode maximal runs of consecutive slots with one
+				// column-group pass each.
+				for k := lo; k < hi; {
+					m := k + 1
+					for m < hi && locs[m].Slot == locs[m-1].Slot+1 {
+						m++
+					}
+					s := int(locs[k].Slot)
+					if err := decodeColSlots(p, r.meta.kind, s, s+(m-k), dst[k:m]); err != nil {
+						return err
+					}
+					k = m
+				}
+				tr.End(obs.PhaseDecode, begin)
+				return nil
+			}
 			for k := lo; k < hi; k++ {
 				if int(locs[k].Slot) >= n {
 					return fmt.Errorf("relstore: slot %d out of range on page %d (%d records)", locs[k].Slot, locs[k].Page, n)
@@ -53,12 +75,14 @@ func (r *Relation) fetchBatch(ctx *ExecContext, locs []Locator, dst []Record) er
 				off := int(binary.LittleEndian.Uint16(p[heapHeader+2*int(locs[k].Slot):]))
 				dst[k] = decodeRecord(p[off:])
 			}
+			tr.End(obs.PhaseDecode, begin)
 			return nil
 		})
 		if err != nil {
 			return err
 		}
 		ctx.addVisitedN(uint64(hi - lo))
+		tr.AddDecoded(hi - lo)
 		i = j
 	}
 	return nil
@@ -127,6 +151,16 @@ func (r *Relation) scanClusterBatch(ctx *ExecContext, from, to []byte) BatchIter
 	return &indexBatchIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
 }
 
+// ScanAllBatch iterates every record, in cluster-key order, in batches.
+// On a columnar relation the index is probed for exactly one position
+// (the first entry); the scan then walks the heap pages directly.
+func (r *Relation) ScanAllBatch(ctx *ExecContext) BatchIter {
+	if r.meta.format == FormatColumnar {
+		return r.seekHeapRun(ctx, nil, uint128.Uint128{}, 0, 0, true)
+	}
+	return r.scanClusterBatch(ctx, nil, nil)
+}
+
 // ScanPLabelExactBatch is the batched ScanPLabelExact, additionally
 // restricted to records whose start lies in [lo, hi) (hi == 0 means
 // unbounded). The restriction is pushed into the cluster-key range —
@@ -135,6 +169,12 @@ func (r *Relation) scanClusterBatch(ctx *ExecContext, from, to []byte) BatchIter
 // record twice. The relation must be plabel-clustered.
 func (r *Relation) ScanPLabelExactBatch(ctx *ExecContext, p uint128.Uint128, lo, hi uint32) BatchIter {
 	from, to := clusterBatchRange(keyenc.Uint128(p), lo, hi)
+	if r.meta.format == FormatColumnar {
+		// Columnar heaps are cluster-ordered and contiguous: seek once via
+		// the index, then walk the heap pages directly, cutting on the
+		// packed starts — no index leaves past the seek.
+		return r.seekHeapRun(ctx, from, p, 0, hi, false)
+	}
 	return r.scanClusterBatch(ctx, from, to)
 }
 
@@ -143,6 +183,9 @@ func (r *Relation) ScanPLabelExactBatch(ctx *ExecContext, p uint128.Uint128, lo,
 // tag-clustered.
 func (r *Relation) ScanTagBatch(ctx *ExecContext, tagID uint32, lo, hi uint32) BatchIter {
 	from, to := clusterBatchRange(keyenc.Uint32(tagID), lo, hi)
+	if r.meta.format == FormatColumnar {
+		return r.seekHeapRun(ctx, from, uint128.Uint128{}, tagID, hi, false)
+	}
 	return r.scanClusterBatch(ctx, from, to)
 }
 
@@ -270,6 +313,34 @@ func CollectBatches(bi BatchIter, batchSize int) ([]Record, error) {
 		if n == 0 {
 			return out, nil
 		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// CollectAdaptive drains a batched stream into a slice, sizing every
+// batch from the context's batch controller and reporting each one back
+// to it (fill latency, pager-miss delta). With no controller attached it
+// degrades to CollectBatches at DefaultBatchSize.
+func CollectAdaptive(ctx *ExecContext, bi BatchIter) ([]Record, error) {
+	ctl := ctx.BatchControl()
+	var out []Record
+	var buf []Record
+	for {
+		if want := ctl.BatchSize(); want > cap(buf) {
+			buf = make([]Record, want)
+		} else {
+			buf = buf[:want]
+		}
+		missBefore := ctx.PageMisses()
+		begin := time.Now()
+		n, err := bi.NextBatch(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		ctl.ObserveBatch(n, time.Since(begin), ctx.PageMisses()-missBefore)
 		out = append(out, buf[:n]...)
 	}
 }

@@ -1,0 +1,384 @@
+package relstore
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/pager"
+	"repro/internal/uint128"
+)
+
+// genColumnarCorpus builds a randomized cluster-ordered corpus that
+// exercises the columnar encoder's edge cases: single-record runs, runs
+// long enough to span pages, empty values, values large enough to force
+// a page break, and start gaps wide enough to need multi-byte deltas.
+// Starts are globally unique so the same records are valid under both
+// clusterings.
+func genColumnarCorpus(rng *rand.Rand, nRuns int) []Record {
+	var recs []Record
+	start := uint32(1)
+	for run := 0; run < nRuns; run++ {
+		plabel := u(uint64(run + 1))
+		tag := uint32(rng.Intn(13) + 1)
+		count := 1
+		switch rng.Intn(4) {
+		case 1:
+			count = rng.Intn(20) + 2
+		case 2:
+			count = rng.Intn(200) + 20
+		case 3:
+			count = rng.Intn(900) + 200 // spans multiple pages
+		}
+		for i := 0; i < count; i++ {
+			var data string
+			switch rng.Intn(5) {
+			case 0: // empty
+			case 1:
+				data = strings.Repeat("x", rng.Intn(3000)+500) // forces page breaks
+			default:
+				data = strings.Repeat("v", rng.Intn(20))
+			}
+			recs = append(recs, Record{
+				PLabel: plabel,
+				TagID:  tag,
+				Start:  start,
+				End:    start + uint32(rng.Intn(1000)),
+				Level:  uint16(rng.Intn(30) + 1),
+				Data:   data,
+			})
+			start += uint32(rng.Intn(500) + 1) // 1-byte and multi-byte deltas
+		}
+	}
+	return recs
+}
+
+func buildFormatT(t testing.TB, kind Clustering, recs []Record, format int) *Relation {
+	t.Helper()
+	f := pager.OpenMem(1024)
+	r, err := BuildFormat(f, kind, recs, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func drainBatch(t testing.TB, bi BatchIter, bufSize int) []Record {
+	t.Helper()
+	buf := make([]Record, bufSize)
+	var out []Record
+	for {
+		n, err := bi.NextBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// TestColumnarLegacyEquivalence is the round-trip property test: the
+// same records built in both page formats must decode byte-identically
+// through every scan path, with matching visited counts on full drains.
+func TestColumnarLegacyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recs := genColumnarCorpus(rng, 40)
+	for _, kind := range []Clustering{ClusterPLabel, ClusterTag} {
+		leg := buildFormatT(t, kind, recs, FormatLegacy)
+		col := buildFormatT(t, kind, recs, FormatColumnar)
+
+		lc, cc := NewExecContext(), NewExecContext()
+		a, err := Collect(leg.ScanAll(lc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Collect(col.ScanAll(cc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(a, b) {
+			t.Fatalf("kind %v: ScanAll differs between formats (%d vs %d records)", kind, len(a), len(b))
+		}
+		if lc.Visited() != cc.Visited() {
+			t.Errorf("kind %v: full-drain visited differs: legacy %d, columnar %d", kind, lc.Visited(), cc.Visited())
+		}
+
+		if kind == ClusterPLabel {
+			for _, p := range []uint128.Uint128{u(1), u(3), u(40), u(9999)} {
+				a := drainBatch(t, leg.ScanPLabelExactBatch(nil, p, 0, 0), 128)
+				b := drainBatch(t, col.ScanPLabelExactBatch(nil, p, 0, 0), 128)
+				if !recordsEqual(a, b) {
+					t.Fatalf("plabel %v: batch scans differ (%d vs %d)", p, len(a), len(b))
+				}
+			}
+		} else {
+			for tag := uint32(1); tag <= 14; tag++ {
+				a := drainBatch(t, leg.ScanTagBatch(nil, tag, 0, 0), 128)
+				b := drainBatch(t, col.ScanTagBatch(nil, tag, 0, 0), 128)
+				if !recordsEqual(a, b) {
+					t.Fatalf("tag %d: batch scans differ (%d vs %d)", tag, len(a), len(b))
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarStartRangeEdges drives the [lo, hi) restriction through
+// both formats at the boundary values the packed-starts cut must get
+// exactly right: bounds equal to record starts (lo inclusive, hi
+// exclusive), bounds past either end, and an empty window.
+func TestColumnarStartRangeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := genColumnarCorpus(rng, 12)
+	leg := buildFormatT(t, ClusterPLabel, recs, FormatLegacy)
+	col := buildFormatT(t, ClusterPLabel, recs, FormatColumnar)
+
+	// Collect per-plabel starts to aim the bounds at exact records.
+	byPLabel := map[uint128.Uint128][]uint32{}
+	for _, r := range recs {
+		byPLabel[r.PLabel] = append(byPLabel[r.PLabel], r.Start)
+	}
+	for p, starts := range byPLabel {
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		first, last := starts[0], starts[len(starts)-1]
+		bounds := [][2]uint32{
+			{0, 0},                // unbounded
+			{first, 0},            // lo == first start (inclusive)
+			{first + 1, 0},        // just past the first
+			{0, last},             // hi == last start (exclusive: drops it)
+			{0, last + 1},         // hi just past the last (keeps it)
+			{first, first},        // lo == hi, nonzero: empty
+			{last + 1, last + 10}, // past the run
+		}
+		if len(starts) > 2 {
+			mid := starts[len(starts)/2]
+			bounds = append(bounds, [2]uint32{first, mid}, [2]uint32{mid, last + 1})
+		}
+		for _, bd := range bounds {
+			lo, hi := bd[0], bd[1]
+			a := drainBatch(t, leg.ScanPLabelExactBatch(nil, p, lo, hi), 64)
+			b := drainBatch(t, col.ScanPLabelExactBatch(nil, p, lo, hi), 64)
+			if !recordsEqual(a, b) {
+				t.Fatalf("plabel %v [%d, %d): formats differ (%d vs %d records)", p, lo, hi, len(a), len(b))
+			}
+			for _, r := range b {
+				if r.Start < lo || (hi != 0 && r.Start >= hi) {
+					t.Fatalf("plabel %v [%d, %d): record start %d outside bounds", p, lo, hi, r.Start)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarStartIndexFetch routes the start-index batch path (index
+// locators resolved through fetchBatch's columnar slot decoding) through
+// both formats.
+func TestColumnarStartIndexFetch(t *testing.T) {
+	recs := makeRecords(3000)
+	leg := buildFormatT(t, ClusterPLabel, recs, FormatLegacy)
+	col := buildFormatT(t, ClusterPLabel, recs, FormatColumnar)
+	for _, bd := range [][2]uint32{{0, 0}, {101, 1001}, {1, 2}, {5999, 0}} {
+		a := drainBatch(t, leg.ScanStartRangeBatch(nil, bd[0], bd[1]), 100)
+		b := drainBatch(t, col.ScanStartRangeBatch(nil, bd[0], bd[1]), 100)
+		if !recordsEqual(a, b) {
+			t.Fatalf("start range [%d, %d): formats differ (%d vs %d)", bd[0], bd[1], len(a), len(b))
+		}
+	}
+}
+
+// TestFormatVersionMismatch: a store written by a newer build (unknown
+// magic) must be rejected with an error that names the readable formats
+// and points at rebuilding.
+func TestFormatVersionMismatch(t *testing.T) {
+	f := pager.OpenMem(64)
+	if _, err := Build(f, ClusterPLabel, makeRecords(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(0, func(p []byte) error {
+		copy(p, "BLASREL9")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(f)
+	if err == nil {
+		t.Fatal("Open accepted an unknown page-format magic")
+	}
+	for _, want := range []string{"BLASREL9", "BLASREL1", "BLASREL2", "blasload"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("format-mismatch error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestBuildFormatRejectsUnknown(t *testing.T) {
+	for _, format := range []int{0, 3, -1} {
+		if _, err := BuildFormat(pager.OpenMem(16), ClusterPLabel, nil, format); err == nil {
+			t.Errorf("BuildFormat accepted format %d", format)
+		}
+	}
+}
+
+// FuzzColumnarRoundTrip builds a derived corpus in both formats and
+// requires identical scans. The corpus shape (run lengths, value sizes,
+// start gaps) is derived from the fuzzed seed.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(10))
+	f.Add(int64(99), uint16(3))
+	f.Add(int64(-7), uint16(60))
+	f.Fuzz(func(t *testing.T, seed int64, nRuns uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		recs := genColumnarCorpus(rng, int(nRuns%64))
+		leg := buildFormatT(t, ClusterPLabel, recs, FormatLegacy)
+		col := buildFormatT(t, ClusterPLabel, recs, FormatColumnar)
+		a, err := Collect(leg.ScanAll(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Collect(col.ScanAll(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(a, b) {
+			t.Fatalf("formats differ: %d vs %d records", len(a), len(b))
+		}
+		if len(recs) > 0 {
+			p := recs[rng.Intn(len(recs))].PLabel
+			hi := recs[rng.Intn(len(recs))].Start
+			x := drainBatch(t, leg.ScanPLabelExactBatch(nil, p, 0, hi), 64)
+			y := drainBatch(t, col.ScanPLabelExactBatch(nil, p, 0, hi), 64)
+			if !recordsEqual(x, y) {
+				t.Fatalf("restricted scans differ: %d vs %d records", len(x), len(y))
+			}
+		}
+	})
+}
+
+// encodeTestPage packs recs (which must fit) into one columnar page.
+func encodeTestPage(t testing.TB, kind Clustering, recs []Record) []byte {
+	t.Helper()
+	ptrs := make([]*Record, len(recs))
+	for i := range recs {
+		ptrs[i] = &recs[i]
+	}
+	p := make([]byte, pager.PageSize)
+	if err := encodeColumnarPage(p, kind, ptrs); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func zeroAllocPageRecords(kind Clustering) []Record {
+	var recs []Record
+	for run := 0; run < 3; run++ {
+		for i := 0; i < 60; i++ {
+			recs = append(recs, Record{
+				PLabel: u(uint64(run + 1)),
+				TagID:  uint32(run + 1),
+				Start:  uint32(run*1000 + i*3 + 1),
+				End:    uint32(run*1000 + i*3 + 2),
+				Level:  uint16(i%9 + 1),
+				// Data deliberately empty: the value blob of an
+				// empty-values run chunk is the empty string, so the
+				// decode must not allocate at all.
+			})
+		}
+	}
+	_ = kind
+	return recs
+}
+
+// TestColumnarDecodeZeroAlloc guards the decode hot path: materializing
+// records with empty values into a preallocated batch must not allocate
+// (with values, the only allocation is the one blob per run chunk).
+func TestColumnarDecodeZeroAlloc(t *testing.T) {
+	for _, kind := range []Clustering{ClusterPLabel, ClusterTag} {
+		recs := zeroAllocPageRecords(kind)
+		p := encodeTestPage(t, kind, recs)
+		dst := make([]Record, len(recs))
+		var decodeErr error
+		allocs := testing.AllocsPerRun(100, func() {
+			decodeErr = decodeColSlots(p, kind, 0, len(recs), dst)
+		})
+		if decodeErr != nil {
+			t.Fatal(decodeErr)
+		}
+		if allocs != 0 {
+			t.Errorf("kind %v: decodeColSlots allocates %.1f times per page, want 0", kind, allocs)
+		}
+		for i := range recs {
+			if dst[i] != recs[i] {
+				t.Fatalf("kind %v: record %d decoded as %+v, want %+v", kind, i, dst[i], recs[i])
+			}
+		}
+	}
+}
+
+// TestHotpathAnnotations pins the //blas:hotpath set to the decode fast
+// paths the zero-alloc guard and BenchmarkDecode* measure, so the
+// hotalloc gate and the benchmarks cannot drift apart silently.
+func TestHotpathAnnotations(t *testing.T) {
+	got, err := analysis.HotpathFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"decodeColSlots", "decodeRunRecords", "fetchBatch", "runStartsUpper"}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("%s lost its //blas:hotpath annotation; the decode zero-alloc guard and hotalloc no longer cover the same code", name)
+		}
+	}
+	if len(got) != len(want) {
+		var names []string
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Errorf("//blas:hotpath set = %v, want exactly %v: annotate new fast paths here and extend the zero-alloc guard", names, want)
+	}
+}
+
+// BenchmarkDecodeColumnarPage tracks single-page batch-decode cost on
+// the SP layout (the CI zero-alloc step runs it with -benchtime=1x).
+func BenchmarkDecodeColumnarPage(b *testing.B) {
+	recs := zeroAllocPageRecords(ClusterPLabel)
+	p := encodeTestPage(b, ClusterPLabel, recs)
+	dst := make([]Record, len(recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decodeColSlots(p, ClusterPLabel, 0, len(recs), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeColumnarScan tracks the full columnar cluster-scan
+// batch path against a relation, values included.
+func BenchmarkDecodeColumnarScan(b *testing.B) {
+	recs := makeRecords(100000)
+	f := pager.OpenMem(4096)
+	r, err := BuildFormat(f, ClusterPLabel, recs, FormatColumnar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Record, DefaultBatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bi := r.ScanPLabelExactBatch(nil, u(uint64(i%10000)), 0, 0)
+		for {
+			n, err := bi.NextBatch(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package relstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Batch sizing bounds. DefaultBatchSize (batch.go) is the fixed fallback
+// when no controller is attached and the adaptive controller's starting
+// point; adaptation stays inside [MinBatchSize, MaxBatchSize].
+const (
+	// MinBatchSize is the smallest batch an adaptive stream will request.
+	MinBatchSize = 64
+	// MaxBatchSize is the largest batch an adaptive stream will request.
+	MaxBatchSize = 4096
+	// DefaultPrefetchDepth is the starting number of in-flight batches a
+	// prefetching stream keeps; adaptation stays in [1, maxPrefetchDepth].
+	DefaultPrefetchDepth = 2
+
+	maxPrefetchDepth = 8
+)
+
+// BatchController tunes one query's batch size and prefetch depth from
+// observed stream behaviour. Streams call ObserveBatch after filling a
+// batch (with the fill latency and the pager-miss delta it caused) and
+// ObserveStall when a consumer blocks on a prefetcher; between calls the
+// controller converges the batch size toward the smallest that keeps
+// misses amortized and the prefetch depth toward the shallowest that
+// hides fill latency:
+//
+//   - full, miss-heavy batches grow the size (misses are being paid per
+//     batch; fewer, larger batches amortize them),
+//   - repeatedly underfilled clean batches shrink it (the stream drains
+//     less than it asks for; smaller buffers cut memory and copy waste),
+//   - consumers stalling on prefetchers for more than a quarter of the
+//     producers' fill time deepen the pipeline.
+//
+// A zero value passed to NewBatchController means "adaptive"; a positive
+// value pins that dimension (clamped to its bounds). All methods are
+// safe for concurrent use by a query's streams, and every method is
+// nil-safe: a nil controller behaves as the fixed defaults, so engine
+// hot paths need no attached-controller branch. The controller never
+// affects results — only buffer sizes and pipeline depth.
+type BatchController struct {
+	size  atomic.Int64
+	depth atomic.Int64
+
+	fixedSize  bool
+	fixedDepth bool
+
+	growStreak   atomic.Int64
+	shrinkStreak atomic.Int64
+	fillNS       atomic.Int64
+	stallNS      atomic.Int64
+
+	classes [obs.NumBatchClasses]atomic.Uint64
+}
+
+// NewBatchController returns a controller with the given fixed batch
+// size and prefetch depth; zero means adapt that dimension. Values are
+// clamped to [MinBatchSize, MaxBatchSize] and [1, 8].
+func NewBatchController(batchSize, prefetchDepth int) *BatchController {
+	c := &BatchController{}
+	if batchSize > 0 {
+		c.fixedSize = true
+		c.size.Store(int64(clampInt(batchSize, MinBatchSize, MaxBatchSize)))
+	} else {
+		c.size.Store(DefaultBatchSize)
+	}
+	if prefetchDepth > 0 {
+		c.fixedDepth = true
+		c.depth.Store(int64(clampInt(prefetchDepth, 1, maxPrefetchDepth)))
+	} else {
+		c.depth.Store(DefaultPrefetchDepth)
+	}
+	return c
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BatchSize returns the batch size streams should request next. On a nil
+// controller it is the fixed DefaultBatchSize.
+func (c *BatchController) BatchSize() int {
+	if c == nil {
+		return DefaultBatchSize
+	}
+	return int(c.size.Load())
+}
+
+// PrefetchDepth returns the number of batches a prefetching stream
+// should keep in flight. On a nil controller it is DefaultPrefetchDepth.
+func (c *BatchController) PrefetchDepth() int {
+	if c == nil {
+		return DefaultPrefetchDepth
+	}
+	return int(c.depth.Load())
+}
+
+// ObserveBatch records one produced batch: n records materialized, the
+// time spent filling it, and the pager misses the fill incurred. Empty
+// batches (stream exhaustion probes) are ignored.
+func (c *BatchController) ObserveBatch(n int, fill time.Duration, misses uint64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.classes[batchSizeClass(n)].Add(1)
+	c.fillNS.Add(int64(fill))
+	if c.fixedSize {
+		return
+	}
+	size := c.size.Load()
+	switch {
+	case misses > 0 && int64(n) >= size:
+		// Full and paying pager misses: amortize them over larger batches.
+		c.shrinkStreak.Store(0)
+		if c.growStreak.Add(1) >= 2 && size < MaxBatchSize {
+			c.size.CompareAndSwap(size, min64(size*2, MaxBatchSize))
+			c.growStreak.Store(0)
+		}
+	case misses == 0 && int64(n) < size/2:
+		// Cache-resident and underfilled: the consumer drains less than
+		// requested, so shrink toward what it actually uses.
+		c.growStreak.Store(0)
+		if c.shrinkStreak.Add(1) >= 4 && size > MinBatchSize {
+			c.size.CompareAndSwap(size, max64(size/2, MinBatchSize))
+			c.shrinkStreak.Store(0)
+		}
+	default:
+		c.growStreak.Store(0)
+		c.shrinkStreak.Store(0)
+	}
+}
+
+// ObserveStall records time a consumer spent blocked waiting on a
+// prefetcher. Once cumulative stall exceeds a quarter of cumulative fill
+// time the pipeline is too shallow to hide fill latency, so the depth
+// deepens (and the accounting resets to demand fresh evidence).
+func (c *BatchController) ObserveStall(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	stall := c.stallNS.Add(int64(d))
+	if c.fixedDepth {
+		return
+	}
+	fill := c.fillNS.Load()
+	if stall > fill/4 && fill > 0 {
+		depth := c.depth.Load()
+		if depth < maxPrefetchDepth && c.depth.CompareAndSwap(depth, depth+1) {
+			c.stallNS.Store(0)
+		}
+	}
+}
+
+// SizeClasses returns the controller's per-size-class batch counts for
+// merging into the store registry (obs.Registry.AddBatchSizes).
+func (c *BatchController) SizeClasses() [obs.NumBatchClasses]uint64 {
+	var out [obs.NumBatchClasses]uint64
+	if c == nil {
+		return out
+	}
+	for i := range c.classes {
+		out[i] = c.classes[i].Load()
+	}
+	return out
+}
+
+// batchSizeClass maps a batch record count to its power-of-two class:
+// class i covers 64·2^i .. 64·2^(i+1)-1, the last class absorbs larger.
+func batchSizeClass(n int) int {
+	cls := 0
+	for v := n / MinBatchSize; v > 1; v >>= 1 {
+		cls++
+	}
+	return clampInt(cls, 0, obs.NumBatchClasses-1)
+}
+
+// BatchSizeClassLabel returns the human-readable record-count range of
+// batch-size class i, e.g. "64-127" or "8192+".
+func BatchSizeClassLabel(i int) string {
+	if i < 0 || i >= obs.NumBatchClasses {
+		return "unknown"
+	}
+	lo := MinBatchSize << i
+	if i == obs.NumBatchClasses-1 {
+		return fmt.Sprintf("%d+", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, lo*2-1)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

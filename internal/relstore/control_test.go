@@ -1,0 +1,195 @@
+package relstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBatchControllerDefaults(t *testing.T) {
+	c := NewBatchController(0, 0)
+	if got := c.BatchSize(); got != DefaultBatchSize {
+		t.Errorf("adaptive controller starts at batch size %d, want %d", got, DefaultBatchSize)
+	}
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth {
+		t.Errorf("adaptive controller starts at depth %d, want %d", got, DefaultPrefetchDepth)
+	}
+}
+
+func TestBatchControllerNilSafe(t *testing.T) {
+	var c *BatchController
+	if got := c.BatchSize(); got != DefaultBatchSize {
+		t.Errorf("nil controller batch size = %d, want %d", got, DefaultBatchSize)
+	}
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth {
+		t.Errorf("nil controller depth = %d, want %d", got, DefaultPrefetchDepth)
+	}
+	c.ObserveBatch(100, time.Millisecond, 3)
+	c.ObserveStall(time.Second)
+	if got := c.SizeClasses(); got != ([obs.NumBatchClasses]uint64{}) {
+		t.Errorf("nil controller SizeClasses = %v, want zeros", got)
+	}
+}
+
+func TestBatchControllerPinnedClamped(t *testing.T) {
+	c := NewBatchController(100000, 99)
+	if got := c.BatchSize(); got != MaxBatchSize {
+		t.Errorf("oversize pin clamps to %d, got %d", MaxBatchSize, got)
+	}
+	if got := c.PrefetchDepth(); got != maxPrefetchDepth {
+		t.Errorf("oversize depth pin clamps to %d, got %d", maxPrefetchDepth, got)
+	}
+	c = NewBatchController(1, 0)
+	if got := c.BatchSize(); got != MinBatchSize {
+		t.Errorf("undersize pin clamps to %d, got %d", MinBatchSize, got)
+	}
+}
+
+func TestBatchControllerPinnedNeverAdapts(t *testing.T) {
+	c := NewBatchController(512, 3)
+	for i := 0; i < 20; i++ {
+		c.ObserveBatch(512, time.Millisecond, 10) // would grow if adaptive
+	}
+	if got := c.BatchSize(); got != 512 {
+		t.Errorf("pinned batch size moved to %d", got)
+	}
+	for i := 0; i < 20; i++ {
+		c.ObserveStall(time.Second) // would deepen if adaptive
+	}
+	if got := c.PrefetchDepth(); got != 3 {
+		t.Errorf("pinned prefetch depth moved to %d", got)
+	}
+}
+
+func TestBatchControllerGrowsOnFullMissyBatches(t *testing.T) {
+	c := NewBatchController(0, 0)
+	c.ObserveBatch(DefaultBatchSize, time.Millisecond, 5)
+	if got := c.BatchSize(); got != DefaultBatchSize {
+		t.Fatalf("grew after one batch (got %d); needs a streak of 2", got)
+	}
+	c.ObserveBatch(DefaultBatchSize, time.Millisecond, 5)
+	if got := c.BatchSize(); got != DefaultBatchSize*2 {
+		t.Fatalf("after 2 full miss-paying batches size = %d, want %d", got, DefaultBatchSize*2)
+	}
+	// Keep feeding full, missy batches: growth saturates at MaxBatchSize.
+	for i := 0; i < 40; i++ {
+		c.ObserveBatch(c.BatchSize(), time.Millisecond, 5)
+	}
+	if got := c.BatchSize(); got != MaxBatchSize {
+		t.Errorf("sustained growth ends at %d, want %d", got, MaxBatchSize)
+	}
+}
+
+func TestBatchControllerShrinksOnUnderfilledCleanBatches(t *testing.T) {
+	c := NewBatchController(0, 0)
+	for i := 0; i < 3; i++ {
+		c.ObserveBatch(DefaultBatchSize/4, time.Millisecond, 0)
+		if got := c.BatchSize(); got != DefaultBatchSize {
+			t.Fatalf("shrank after %d batches (got %d); needs a streak of 4", i+1, got)
+		}
+	}
+	c.ObserveBatch(DefaultBatchSize/4, time.Millisecond, 0)
+	if got := c.BatchSize(); got != DefaultBatchSize/2 {
+		t.Fatalf("after 4 clean underfilled batches size = %d, want %d", got, DefaultBatchSize/2)
+	}
+	for i := 0; i < 40; i++ {
+		c.ObserveBatch(1, time.Millisecond, 0)
+	}
+	if got := c.BatchSize(); got != MinBatchSize {
+		t.Errorf("sustained shrink ends at %d, want %d", got, MinBatchSize)
+	}
+}
+
+func TestBatchControllerMixedSignalResetsStreaks(t *testing.T) {
+	c := NewBatchController(0, 0)
+	c.ObserveBatch(DefaultBatchSize, time.Millisecond, 5) // grow streak 1
+	c.ObserveBatch(DefaultBatchSize, time.Millisecond, 0) // full but clean: reset
+	c.ObserveBatch(DefaultBatchSize, time.Millisecond, 5) // grow streak 1 again
+	if got := c.BatchSize(); got != DefaultBatchSize {
+		t.Errorf("size moved to %d across interrupted streaks, want %d", got, DefaultBatchSize)
+	}
+}
+
+func TestBatchControllerIgnoresEmptyBatches(t *testing.T) {
+	c := NewBatchController(0, 0)
+	for i := 0; i < 10; i++ {
+		c.ObserveBatch(0, time.Millisecond, 5)
+		c.ObserveBatch(-1, time.Millisecond, 5)
+	}
+	if got := c.BatchSize(); got != DefaultBatchSize {
+		t.Errorf("empty batches moved the size to %d", got)
+	}
+	if got := c.SizeClasses(); got != ([obs.NumBatchClasses]uint64{}) {
+		t.Errorf("empty batches were counted: %v", got)
+	}
+}
+
+func TestBatchControllerDeepensOnStall(t *testing.T) {
+	// No fill time observed yet: stalls alone must not deepen.
+	c := NewBatchController(0, 0)
+	c.ObserveStall(time.Second)
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth {
+		t.Fatalf("depth deepened with no fill evidence (got %d)", got)
+	}
+	// Fresh controller with 100ms of fill; a 10ms stall is under a
+	// quarter of it.
+	c = NewBatchController(0, 0)
+	c.ObserveBatch(DefaultBatchSize, 100*time.Millisecond, 0)
+	c.ObserveStall(10 * time.Millisecond)
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth {
+		t.Fatalf("depth deepened below the stall threshold (got %d)", got)
+	}
+	// Push cumulative stall past fill/4.
+	c.ObserveStall(20 * time.Millisecond)
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth+1 {
+		t.Fatalf("depth = %d after stall > fill/4, want %d", got, DefaultPrefetchDepth+1)
+	}
+	// Deepening resets the stall accounting: the same small stall no
+	// longer crosses the threshold.
+	c.ObserveStall(10 * time.Millisecond)
+	if got := c.PrefetchDepth(); got != DefaultPrefetchDepth+1 {
+		t.Fatalf("depth deepened again without fresh evidence (got %d)", got)
+	}
+	// Sustained stalling saturates at the depth ceiling.
+	for i := 0; i < 100; i++ {
+		c.ObserveStall(time.Second)
+	}
+	if got := c.PrefetchDepth(); got != maxPrefetchDepth {
+		t.Errorf("sustained stalls end at depth %d, want %d", got, maxPrefetchDepth)
+	}
+}
+
+func TestBatchControllerSizeClasses(t *testing.T) {
+	c := NewBatchController(0, 0)
+	c.ObserveBatch(64, time.Millisecond, 0)   // class 0
+	c.ObserveBatch(127, time.Millisecond, 0)  // class 0
+	c.ObserveBatch(128, time.Millisecond, 0)  // class 1
+	c.ObserveBatch(4096, time.Millisecond, 0) // class 6
+	c.ObserveBatch(1, time.Millisecond, 0)    // below MinBatchSize: class 0
+	c.ObserveBatch(1<<20, time.Millisecond, 0)
+	got := c.SizeClasses()
+	var want [obs.NumBatchClasses]uint64
+	want[0] = 3
+	want[1] = 1
+	want[6] = 1
+	want[obs.NumBatchClasses-1] = 1
+	if got != want {
+		t.Errorf("SizeClasses = %v, want %v", got, want)
+	}
+}
+
+func TestBatchSizeClassLabel(t *testing.T) {
+	cases := map[int]string{
+		0:                       "64-127",
+		1:                       "128-255",
+		obs.NumBatchClasses - 1: "8192+",
+		-1:                      "unknown",
+		obs.NumBatchClasses:     "unknown",
+	}
+	for i, want := range cases {
+		if got := BatchSizeClassLabel(i); got != want {
+			t.Errorf("BatchSizeClassLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

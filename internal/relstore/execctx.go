@@ -24,6 +24,7 @@ type ExecContext struct {
 	visited atomic.Uint64
 	pages   pager.Counters
 	trace   *obs.Trace
+	batch   *BatchController
 }
 
 // NewExecContext returns a fresh context with all counters at zero.
@@ -47,6 +48,27 @@ func (c *ExecContext) Trace() *obs.Trace {
 		return nil
 	}
 	return c.trace
+}
+
+// SetBatchControl attaches a batch controller to the context. Streams
+// size their buffers and prefetch pipelines from it via BatchControl();
+// with none attached they fall back to the fixed defaults. Like
+// SetTrace, it must be called before the context is shared with other
+// goroutines.
+func (c *ExecContext) SetBatchControl(b *BatchController) {
+	if c != nil {
+		c.batch = b
+	}
+}
+
+// BatchControl returns the context's batch controller, nil-safely: a nil
+// context or an unattached query yields a nil *BatchController, whose
+// methods answer the fixed defaults.
+func (c *ExecContext) BatchControl() *BatchController {
+	if c == nil {
+		return nil
+	}
+	return c.batch
 }
 
 // Visited returns the number of records decoded by scans under this

@@ -21,6 +21,33 @@
 // by a scan is counted in the querying ExecContext — the two quantities
 // the paper's experiments report, attributed per query so that any
 // number of queries can run concurrently over one Relation.
+//
+// # On-disk page formats
+//
+// Two heap page formats exist; the meta page's magic identifies which
+// one a relation uses, and every page of one relation uses the same
+// format:
+//
+//	format  magic       heap page layout
+//	------  ----------  ----------------------------------------------
+//	1       "BLASREL1"  slotted, record at a time:
+//	                    [0:2] record count, slot offsets (2 B each),
+//	                    then per-record encodings
+//	                    (plabel 16 B, tagID u32, start u32, end u32,
+//	                    level u16, dlen u16, data bytes)
+//	2       "BLASREL2"  columnar, delta-compressed runs — see the
+//	                    layout comment in columnar.go: per cluster-
+//	                    prefix run, starts as ascending delta varints,
+//	                    ends/levels/value-lengths as packed varint
+//	                    columns, values out of line
+//
+// Compatibility contract: Build writes format 2; Open reads either
+// format (format-1 stores keep working read-only, with the original
+// record-at-a-time decode paths), and any other magic is rejected with
+// an unsupported-page-format error. Rebuilding with blasload migrates a
+// store to the current format. Locators, index layouts and every scan
+// API are format-independent, and scan results are byte-identical
+// across formats.
 package relstore
 
 import (
@@ -128,6 +155,15 @@ func decodeLocator(b []byte) Locator {
 
 const heapHeader = 2
 
+// pageHeaderSize returns the fixed header size of a heap page in the
+// given format (before any slot directory / run directory entries).
+func pageHeaderSize(format int) int {
+	if format == FormatColumnar {
+		return colPageHeader
+	}
+	return heapHeader
+}
+
 // Relation is an open node relation. A Relation is immutable after Build
 // and safe for concurrent scans; per-query statistics accumulate in the
 // ExecContext each scan is given.
@@ -140,6 +176,7 @@ type Relation struct {
 }
 
 type relMeta struct {
+	format    int // heap page format: FormatLegacy or FormatColumnar
 	kind      Clustering
 	count     uint64
 	heapFirst pager.PageID
@@ -149,11 +186,30 @@ type relMeta struct {
 	data      pbtree.Tree
 }
 
-const metaMagic = "BLASREL1"
+// Heap page formats (see the package doc's format table).
+const (
+	// FormatLegacy is the slotted record-at-a-time layout (v1 stores).
+	FormatLegacy = 1
+	// FormatColumnar is the columnar delta-compressed layout Build
+	// writes.
+	FormatColumnar = 2
+)
+
+const (
+	metaMagicV1 = "BLASREL1"
+	metaMagicV2 = "BLASREL2"
+)
+
+func magicFor(format int) string {
+	if format == FormatLegacy {
+		return metaMagicV1
+	}
+	return metaMagicV2
+}
 
 func writeMeta(f *pager.File, id pager.PageID, m *relMeta) error {
 	return f.Update(id, func(p []byte) error {
-		copy(p, metaMagic)
+		copy(p, magicFor(m.format))
 		p[8] = byte(m.kind)
 		binary.LittleEndian.PutUint64(p[9:], m.count)
 		binary.LittleEndian.PutUint32(p[17:], uint32(m.heapFirst))
@@ -172,8 +228,14 @@ func writeMeta(f *pager.File, id pager.PageID, m *relMeta) error {
 func readMeta(f *pager.File, id pager.PageID) (relMeta, error) {
 	var m relMeta
 	err := f.View(id, func(p []byte) error {
-		if string(p[:8]) != metaMagic {
-			return fmt.Errorf("relstore: bad magic %q", p[:8])
+		switch string(p[:8]) {
+		case metaMagicV1:
+			m.format = FormatLegacy
+		case metaMagicV2:
+			m.format = FormatColumnar
+		default:
+			return fmt.Errorf("relstore: unsupported page format (magic %q; this build reads %q and %q — rebuild the store with blasload)",
+				p[:8], metaMagicV1, metaMagicV2)
 		}
 		m.kind = Clustering(p[8])
 		if m.kind != ClusterPLabel && m.kind != ClusterTag {
@@ -196,11 +258,22 @@ func readMeta(f *pager.File, id pager.PageID) (relMeta, error) {
 
 // Build creates a relation in f from records. The records are sorted by
 // the cluster key internally (the input order does not matter); the heap
-// is packed in cluster order, then the three indexes are bulk loaded.
-// Page 0 of f holds the metadata.
+// is packed in cluster order into columnar delta-compressed pages
+// (FormatColumnar), then the three indexes are bulk loaded. Page 0 of f
+// holds the metadata.
 func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) {
+	return BuildFormat(f, kind, records, FormatColumnar)
+}
+
+// BuildFormat is Build with an explicit heap page format. FormatLegacy
+// exists for compatibility tests and the decode benchmark; production
+// stores use Build (FormatColumnar).
+func BuildFormat(f *pager.File, kind Clustering, records []Record, format int) (*Relation, error) {
 	if kind != ClusterPLabel && kind != ClusterTag {
 		return nil, fmt.Errorf("relstore: bad clustering %d", kind)
+	}
+	if format != FormatLegacy && format != FormatColumnar {
+		return nil, fmt.Errorf("relstore: unknown page format %d", format)
 	}
 	metaPage, err := f.Alloc()
 	if err != nil {
@@ -227,7 +300,7 @@ func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) 
 	placed := make([]pending, 0, len(recs))
 	var curPage pager.PageID
 	var curRecs []*Record
-	curUsed := heapHeader
+	curUsed := pageHeaderSize(format)
 	heapFirst, heapLast := pager.PageID(0), pager.PageID(0)
 	havePages := false
 
@@ -246,6 +319,9 @@ func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) 
 		heapLast = id
 		curPage = id
 		err = f.Update(id, func(p []byte) error {
+			if format == FormatColumnar {
+				return encodeColumnarPage(p, kind, curRecs)
+			}
 			binary.LittleEndian.PutUint16(p[0:2], uint16(len(curRecs)))
 			off := heapHeader + 2*len(curRecs)
 			for i, r := range curRecs {
@@ -262,18 +338,41 @@ func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) 
 			placed = append(placed, pending{rec: r, loc: Locator{Page: curPage, Slot: uint16(i)}})
 		}
 		curRecs = curRecs[:0]
-		curUsed = heapHeader
+		curUsed = pageHeaderSize(format)
 		return nil
 	}
 
 	for _, r := range recs {
-		need := 2 + recordSize(r) // slot + record
-		if recordSize(r) > pager.PageSize-heapHeader-2 {
-			return nil, fmt.Errorf("relstore: record too large (%d bytes, data %q…)", recordSize(r), clip(r.Data, 20))
+		var need int
+		if format == FormatColumnar {
+			// Exact incremental cost: a record continuing the current
+			// page's last run pays its column bytes only; a record opening
+			// a run additionally pays the directory entry and run header,
+			// and its start is stored absolute.
+			var prev *Record
+			runCost := 0
+			if len(curRecs) > 0 && sameRun(kind, curRecs[len(curRecs)-1], r) {
+				prev = curRecs[len(curRecs)-1]
+			} else {
+				runCost = colRunDirEnt + runHeaderSize(kind)
+			}
+			need = runCost + colRecordCost(kind, prev, r)
+			if colRecordCost(kind, nil, r) > colMaxRecord(kind) {
+				return nil, fmt.Errorf("relstore: record too large (%d bytes of data %q…)", len(r.Data), clip(r.Data, 20))
+			}
+		} else {
+			need = 2 + recordSize(r) // slot + record
+			if recordSize(r) > pager.PageSize-heapHeader-2 {
+				return nil, fmt.Errorf("relstore: record too large (%d bytes, data %q…)", recordSize(r), clip(r.Data, 20))
+			}
 		}
 		if curUsed+need > pager.PageSize {
 			if err := flush(); err != nil {
 				return nil, err
+			}
+			if format == FormatColumnar {
+				// On a fresh page the record opens a run unconditionally.
+				need = colRunDirEnt + runHeaderSize(kind) + colRecordCost(kind, nil, r)
 			}
 		}
 		curRecs = append(curRecs, r)
@@ -343,6 +442,7 @@ func Build(f *pager.File, kind Clustering, records []Record) (*Relation, error) 
 	}
 
 	m := relMeta{
+		format:    format,
 		kind:      kind,
 		count:     uint64(len(recs)),
 		heapFirst: heapFirst,
@@ -406,6 +506,15 @@ func (r *Relation) fetch(ctx *ExecContext, loc Locator) (Record, error) {
 		n := int(binary.LittleEndian.Uint16(p[0:2]))
 		if int(loc.Slot) >= n {
 			return fmt.Errorf("relstore: slot %d out of range on page %d (%d records)", loc.Slot, loc.Page, n)
+		}
+		if r.meta.format == FormatColumnar {
+			s := int(loc.Slot)
+			var one [1]Record
+			if err := decodeColSlots(p, r.meta.kind, s, s+1, one[:]); err != nil {
+				return err
+			}
+			rec = one[0]
+			return nil
 		}
 		off := int(binary.LittleEndian.Uint16(p[heapHeader+2*int(loc.Slot):]))
 		rec = decodeRecord(p[off:])

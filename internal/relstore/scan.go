@@ -58,8 +58,53 @@ func (r *Relation) scanClusterRange(ctx *ExecContext, from, to []byte) Iter {
 	return &indexIter{r: r, ctx: ctx, it: it, val: it.Value, ierr: it.Err}
 }
 
+// batchRecordIter adapts a BatchIter to the record-at-a-time Iter
+// interface. The columnar cluster scans decode whole runs; going
+// through a batch keeps that shape for the convenience iterators
+// instead of paying a per-record run-prefix decode via fetch. The
+// batch may decode a few records past where the caller stops.
+type batchRecordIter struct {
+	bi   BatchIter
+	buf  []Record
+	n, i int
+	err  error
+}
+
+// batchRecordBuf is the adapter's decode granularity — deliberately
+// smaller than DefaultBatchSize, since record-at-a-time consumers are
+// tests, tools and merges that may hold many iterators at once.
+const batchRecordBuf = 64
+
+func (s *batchRecordIter) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.i+1 < s.n {
+		s.i++
+		return true
+	}
+	if s.buf == nil {
+		s.buf = make([]Record, batchRecordBuf)
+	}
+	n, err := s.bi.NextBatch(s.buf)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.n, s.i = n, 0
+	return n > 0
+}
+
+func (s *batchRecordIter) Record() Record { return s.buf[s.i] }
+func (s *batchRecordIter) Err() error     { return s.err }
+
 // ScanAll iterates every record in cluster-key order.
-func (r *Relation) ScanAll(ctx *ExecContext) Iter { return r.scanClusterRange(ctx, nil, nil) }
+func (r *Relation) ScanAll(ctx *ExecContext) Iter {
+	if r.meta.format == FormatColumnar {
+		return &batchRecordIter{bi: r.ScanAllBatch(ctx)}
+	}
+	return r.scanClusterRange(ctx, nil, nil)
+}
 
 // ScanPLabelRange iterates records with lo <= plabel <= hi, in
 // (plabel, start) order. The relation must be plabel-clustered.
@@ -71,6 +116,9 @@ func (r *Relation) ScanPLabelRange(ctx *ExecContext, lo, hi uint128.Uint128) Ite
 
 // ScanPLabelExact iterates records with plabel == p, in start order.
 func (r *Relation) ScanPLabelExact(ctx *ExecContext, p uint128.Uint128) Iter {
+	if r.meta.format == FormatColumnar {
+		return &batchRecordIter{bi: r.ScanPLabelExactBatch(ctx, p, 0, 0)}
+	}
 	prefix := keyenc.Uint128(p)
 	return r.scanClusterRange(ctx, prefix, keyenc.PrefixSuccessor(prefix))
 }
@@ -78,6 +126,9 @@ func (r *Relation) ScanPLabelExact(ctx *ExecContext, p uint128.Uint128) Iter {
 // ScanTag iterates records with the given tag id, in start order. The
 // relation must be tag-clustered.
 func (r *Relation) ScanTag(ctx *ExecContext, tagID uint32) Iter {
+	if r.meta.format == FormatColumnar {
+		return &batchRecordIter{bi: r.ScanTagBatch(ctx, tagID, 0, 0)}
+	}
 	prefix := keyenc.Uint32(tagID)
 	return r.scanClusterRange(ctx, prefix, keyenc.PrefixSuccessor(prefix))
 }

@@ -273,6 +273,12 @@ type QueryRequest struct {
 	// Parallelism requests a per-query worker count (0 = GOMAXPROCS);
 	// the server may grant less under load (see the response field).
 	Parallelism int `json:"parallelism,omitempty"`
+	// BatchSize pins the query's stream batch size (0 = adaptive;
+	// positive values are clamped to [64, 4096]).
+	BatchSize int `json:"batch_size,omitempty"`
+	// PrefetchDepth pins how many batches each stream prefetcher keeps
+	// in flight (0 = adaptive; positive values are clamped to [1, 8]).
+	PrefetchDepth int `json:"prefetch_depth,omitempty"`
 	// Trace returns a per-phase breakdown in stats.phases. Traced
 	// requests bypass the result cache.
 	Trace bool `json:"trace,omitempty"`
@@ -346,6 +352,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.Parallelism < 0:
 		writeError(w, http.StatusBadRequest, "parallelism must be >= 0 (0 = server default)")
+		return
+	case req.BatchSize < 0:
+		writeError(w, http.StatusBadRequest, "batch_size must be >= 0 (0 = adaptive)")
+		return
+	case req.PrefetchDepth < 0:
+		writeError(w, http.StatusBadRequest, "prefetch_depth must be >= 0 (0 = adaptive)")
 		return
 	}
 	engine := blas.Engine(req.Engine)
@@ -432,7 +444,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if grant < want {
 		s.clamped.Add(1)
 	}
-	opts := blas.QueryOptions{Engine: engine, Parallelism: grant, Trace: req.Trace}
+	opts := blas.QueryOptions{
+		Engine:        engine,
+		Parallelism:   grant,
+		BatchSize:     req.BatchSize,
+		PrefetchDepth: req.PrefetchDepth,
+		Trace:         req.Trace,
+	}
 
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {

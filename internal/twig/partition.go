@@ -85,7 +85,7 @@ func (e *engine) sweepAll(ctx *relstore.ExecContext, workers int) ([][][]relstor
 	if err != nil {
 		return nil, err
 	}
-	rootRecs, err := relstore.CollectBatches(rootBI, relstore.DefaultBatchSize)
+	rootRecs, err := relstore.CollectAdaptive(ctx, rootBI)
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +159,9 @@ func (e *engine) sweepPartition(ctx *relstore.ExecContext, part sweepPart, prefe
 			return nil, err
 		}
 		if prefetch {
-			st.streams[i] = newBatchStream(startPrefetch(bi, n.filter, ctx.Trace()))
+			st.streams[i] = newBatchStream(startPrefetch(ctx, bi, n.filter))
 		} else {
-			st.streams[i] = newBatchStream(newSyncSource(bi, n.filter))
+			st.streams[i] = newBatchStream(newSyncSource(ctx, bi, n.filter))
 		}
 	}
 	if err := st.sweep(); err != nil {

@@ -1,22 +1,24 @@
 package twig
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/relstore"
 )
-
-// prefetchDepth is how many filtered batches a stream's prefetcher keeps
-// in flight ahead of the sweep. Two batches double-buffer: the sweep
-// consumes one while the prefetcher fills the next, overlapping page
-// decode and backing-store misses with sweep work.
-const prefetchDepth = 2
 
 // batchSource produces filtered record batches for one stream. next
 // returns a nil slice at end of stream; a returned batch stays valid
 // until the following next call. close releases any resources (it is
 // required even when next has not been drained — e.g. when a sibling
 // stream errored mid-sweep).
+//
+// Both pulling sources size their buffers from the query's batch
+// controller (ExecContext.BatchControl) and report every produced batch
+// back to it — fill latency and the pager-miss delta it caused — so the
+// controller can adapt the batch size while the query runs. A nil
+// controller behaves as the fixed defaults.
 type batchSource interface {
 	next() ([]relstore.Record, error)
 	close()
@@ -39,28 +41,52 @@ func (m *memSource) next() ([]relstore.Record, error) {
 
 func (m *memSource) close() {}
 
+// fillBatch pulls one batch into buf (resized to the controller's
+// current target), filters it, and reports the fill to the controller.
+// It returns the (possibly re-grown) buffer for reuse, the filtered
+// records, and n == 0 at end of stream.
+func fillBatch(ctx *relstore.ExecContext, ctl *relstore.BatchController, bi relstore.BatchIter, f core.RecFilter, buf []relstore.Record) ([]relstore.Record, []relstore.Record, int, error) {
+	if want := ctl.BatchSize(); want > cap(buf) {
+		buf = make([]relstore.Record, want)
+	} else {
+		buf = buf[:want]
+	}
+	missBefore := ctx.PageMisses()
+	begin := time.Now()
+	n, err := bi.NextBatch(buf)
+	if err != nil || n == 0 {
+		return buf, nil, 0, err
+	}
+	ctl.ObserveBatch(n, time.Since(begin), ctx.PageMisses()-missBefore)
+	return buf, f.Apply(buf[:n]), n, nil
+}
+
 // syncSource pulls batches inline on the sweep goroutine — the fully
 // sequential (Parallelism = 1) mode.
 type syncSource struct {
+	ctx    *relstore.ExecContext
+	ctl    *relstore.BatchController
 	bi     relstore.BatchIter
 	filter core.RecFilter
 	buf    []relstore.Record
 }
 
-func newSyncSource(bi relstore.BatchIter, f core.RecFilter) *syncSource {
-	return &syncSource{bi: bi, filter: f, buf: make([]relstore.Record, relstore.DefaultBatchSize)}
+func newSyncSource(ctx *relstore.ExecContext, bi relstore.BatchIter, f core.RecFilter) *syncSource {
+	ctl := ctx.BatchControl()
+	return &syncSource{ctx: ctx, ctl: ctl, bi: bi, filter: f, buf: make([]relstore.Record, ctl.BatchSize())}
 }
 
 func (s *syncSource) next() ([]relstore.Record, error) {
 	for {
-		n, err := s.bi.NextBatch(s.buf)
+		buf, recs, n, err := fillBatch(s.ctx, s.ctl, s.bi, s.filter, s.buf)
+		s.buf = buf
 		if err != nil {
 			return nil, err
 		}
 		if n == 0 {
 			return nil, nil
 		}
-		if recs := s.filter.Apply(s.buf[:n]); len(recs) > 0 {
+		if len(recs) > 0 {
 			return recs, nil
 		}
 	}
@@ -75,29 +101,36 @@ type prefetchMsg struct {
 	err  error
 }
 
-// prefetchSource reads batches on a dedicated goroutine, keeping up to
-// prefetchDepth filtered batches buffered ahead of the consumer. Each
-// batch gets a fresh buffer, so the consumer may hold one while the
-// producer fills the next. When tr is non-nil, the time the consumer
-// spends blocked on the channel accumulates under PhasePrefetchStall —
-// the sweep-side measure of how far prefetching fell behind.
+// prefetchSource reads batches on a dedicated goroutine, keeping a
+// controller-chosen number of filtered batches buffered ahead of the
+// consumer. Each batch gets a fresh buffer, so the consumer may hold one
+// while the producer fills the next. The time the consumer spends
+// blocked on the channel accumulates under PhasePrefetchStall (when
+// traced) and feeds the controller's depth adaptation — though a running
+// stream's channel keeps its capacity, so a deepened pipeline takes
+// effect on the streams opened after it (the next sweep partitions).
 type prefetchSource struct {
 	ch     chan prefetchMsg
 	stop   chan struct{}
 	closed bool
 	tr     *obs.Trace
+	ctl    *relstore.BatchController
 }
 
-func startPrefetch(bi relstore.BatchIter, f core.RecFilter, tr *obs.Trace) *prefetchSource {
+func startPrefetch(ctx *relstore.ExecContext, bi relstore.BatchIter, f core.RecFilter) *prefetchSource {
+	ctl := ctx.BatchControl()
 	s := &prefetchSource{
-		ch:   make(chan prefetchMsg, prefetchDepth),
+		ch:   make(chan prefetchMsg, ctl.PrefetchDepth()),
 		stop: make(chan struct{}),
-		tr:   tr,
+		tr:   ctx.Trace(),
+		ctl:  ctl,
 	}
 	go func() {
 		defer close(s.ch)
 		for {
-			buf := make([]relstore.Record, relstore.DefaultBatchSize)
+			buf := make([]relstore.Record, ctl.BatchSize())
+			missBefore := ctx.PageMisses()
+			begin := time.Now()
 			n, err := bi.NextBatch(buf)
 			if err != nil {
 				select {
@@ -109,6 +142,7 @@ func startPrefetch(bi relstore.BatchIter, f core.RecFilter, tr *obs.Trace) *pref
 			if n == 0 {
 				return
 			}
+			ctl.ObserveBatch(n, time.Since(begin), ctx.PageMisses()-missBefore)
 			recs := f.Apply(buf[:n])
 			if len(recs) == 0 {
 				continue
@@ -124,9 +158,16 @@ func startPrefetch(bi relstore.BatchIter, f core.RecFilter, tr *obs.Trace) *pref
 }
 
 func (s *prefetchSource) next() ([]relstore.Record, error) {
-	begin := s.tr.Begin()
+	var begin time.Time
+	if s.tr != nil || s.ctl != nil {
+		begin = time.Now()
+	}
 	msg, ok := <-s.ch
-	s.tr.End(obs.PhasePrefetchStall, begin)
+	if !begin.IsZero() {
+		d := time.Since(begin)
+		s.tr.Add(obs.PhasePrefetchStall, d)
+		s.ctl.ObserveStall(d)
+	}
 	if !ok {
 		return nil, nil
 	}
